@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation (ours): processor-count scaling.
+ *
+ * The paper fixes the machine at 16 processors; this bench sweeps
+ * the node count to show how the extensions' gains evolve with
+ * scale — more processors mean more sharers per invalidation, more
+ * update fan-out, and longer barrier chains, so the P+CW and P+M
+ * advantages are scale-dependent.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpx;
+    auto opts = bench::parseOptions(argc, argv);
+
+    bench::printBanner(
+        "Ablation — scaling the processor count (execution time in "
+        "kilopclocks; ratio vs BASIC at the same count)",
+        "(not in the paper — the extensions' gains vary with scale)");
+
+    const unsigned counts[] = {2, 4, 8, 16, 32};
+    const char *apps[] = {"mp3d", "ocean"};
+
+    for (const char *app : apps) {
+        std::printf("\n%s:\n%-7s %12s %16s %16s\n", app, "procs",
+                    "BASIC", "P+CW", "P+M");
+        for (unsigned procs : counts) {
+            bench::Options scaled = opts;
+            scaled.procs = procs;
+            MachineParams basic = makeParams(ProtocolConfig::basic());
+            MachineParams pcw = makeParams(ProtocolConfig::pcw());
+            MachineParams pm = makeParams(ProtocolConfig::pm());
+            Tick tb = bench::runOne(app, basic, scaled).execTime;
+            Tick tc = bench::runOne(app, pcw, scaled).execTime;
+            Tick tm = bench::runOne(app, pm, scaled).execTime;
+            std::printf("%-7u %11lluk %10lluk %3.0f%% %10lluk %3.0f%%\n",
+                        procs,
+                        static_cast<unsigned long long>(tb / 1000),
+                        static_cast<unsigned long long>(tc / 1000),
+                        100.0 * tc / tb,
+                        static_cast<unsigned long long>(tm / 1000),
+                        100.0 * tm / tb);
+        }
+    }
+    return 0;
+}

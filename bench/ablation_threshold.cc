@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation (DESIGN.md / §3.3): the competitive threshold.
+ *
+ * [10] recommends a threshold of four without write caches; with the
+ * 4-block write cache the paper argues a threshold of one gives less
+ * traffic and lower coherence-miss penalty. This bench sweeps the
+ * threshold and reports both execution time and traffic.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpx;
+    auto opts = bench::parseOptions(argc, argv);
+
+    bench::printBanner(
+        "Ablation — competitive-update threshold sweep (CW under "
+        "RC; time and traffic relative to BASIC = 100)",
+        "with write caches a threshold of 1 is the paper's "
+        "recommendation: higher thresholds keep stale copies alive "
+        "and multiply update traffic");
+
+    std::map<std::string, RunResult> base;
+    for (const std::string &app : paperApplications()) {
+        base[app] = bench::runOne(
+                        app, makeParams(ProtocolConfig::basic()), opts)
+                        .stats;
+    }
+
+    std::printf("%-12s", "threshold");
+    for (const std::string &app : paperApplications())
+        std::printf(" %16s", app.c_str());
+    std::printf("\n%-12s", "");
+    for (std::size_t i = 0; i < paperApplications().size(); ++i)
+        std::printf(" %8s %7s", "time", "traffic");
+    std::printf("\n");
+
+    for (unsigned threshold : {1u, 2u, 4u, 8u}) {
+        std::printf("C=%-10u", threshold);
+        for (const std::string &app : paperApplications()) {
+            MachineParams params = makeParams(ProtocolConfig::cw());
+            params.competitiveThreshold = threshold;
+            RunResult r = bench::runOne(app, params, opts).stats;
+            std::printf(" %7.1f%% %6.0f%%",
+                        100.0 * r.execTime / base[app].execTime,
+                        base[app].netBytes
+                            ? 100.0 * r.netBytes / base[app].netBytes
+                            : 0.0);
+        }
+        std::printf("\n");
+    }
+
+    // The plain competitive-update protocol of [10]: no write cache,
+    // one update message per write. The paper argues threshold 1 +
+    // write cache beats threshold 4 without one.
+    for (unsigned threshold : {1u, 4u}) {
+        std::printf("C=%u,noWC%4s", threshold, "");
+        for (const std::string &app : paperApplications()) {
+            MachineParams params = makeParams(ProtocolConfig::cw());
+            params.competitiveThreshold = threshold;
+            params.writeCacheEnabled = false;
+            RunResult r = bench::runOne(app, params, opts).stats;
+            std::printf(" %7.1f%% %6.0f%%",
+                        100.0 * r.execTime / base[app].execTime,
+                        base[app].netBytes
+                            ? 100.0 * r.netBytes / base[app].netBytes
+                            : 0.0);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 2: execution times relative to BASIC under release
+ * consistency, for every protocol combination and all five
+ * applications, decomposed into busy / read-stall / acquire-stall
+ * (plus write/release columns, which the paper folds away because
+ * release consistency hides them).
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpx;
+    auto opts = bench::parseOptions(argc, argv);
+
+    bench::printBanner(
+        "Figure 2 — relative execution times under release "
+        "consistency (BASIC = 100)",
+        "P and CW are the best single extensions; P+CW approaches "
+        "additive gains (speedup up to ~2 on MP3D/Cholesky); M alone "
+        "only trims acquire stall; CW+M forfeits CW's gain on "
+        "migratory applications");
+
+    for (const std::string &app : paperApplications()) {
+        std::vector<RunResult> results;
+        for (const ProtocolConfig &proto : figure2Protocols()) {
+            MachineParams params = makeParams(proto);
+            results.push_back(bench::runOne(app, params, opts).stats);
+        }
+        printRelativeExecutionTimes(app + " (RC)", results,
+                                    results.front());
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Simulator-kernel microbenchmarks (google-benchmark): event queue
+ * throughput, tag-store lookups, mesh routing, write-cache combining
+ * and a whole small-system run. These track the simulator's own
+ * performance, not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/config.hh"
+#include "mem/tag_store.hh"
+#include "mem/write_cache.hh"
+#include "net/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace cpx;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Tick>(i * 7 % 701),
+                        [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_TagStoreLookup(benchmark::State &state)
+{
+    struct Line
+    {
+        bool valid = false;
+        unsigned payload = 0;
+    };
+    TagStore<Line> tags(32, state.range(0));
+    Rng rng(3);
+    for (int i = 0; i < 4096; ++i)
+        tags.insert(rng.next() & 0xffffff);
+    std::uint64_t hits = 0;
+    Rng probe(3);
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            if (tags.find(probe.next() & 0xffffff))
+                ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_TagStoreLookup)->Arg(0)->Arg(512);
+
+void
+BM_MeshRouting(benchmark::State &state)
+{
+    EventQueue eq;
+    MeshNetwork mesh(eq, 16, static_cast<unsigned>(state.range(0)));
+    Rng rng(11);
+    for (auto _ : state) {
+        NodeId src = static_cast<NodeId>(rng.below(16));
+        NodeId dst = static_cast<NodeId>(rng.below(16));
+        mesh.send(src, dst, 32, [] {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshRouting)->Arg(64)->Arg(16);
+
+void
+BM_WriteCacheCombine(benchmark::State &state)
+{
+    AddressMap amap(32, 4096, 16);
+    WriteCache wc(amap, 4);
+    Rng rng(5);
+    for (auto _ : state) {
+        WriteCacheFlush victim;
+        Addr a = (rng.next() & 0xfff) * 4;
+        benchmark::DoNotOptimize(
+            wc.writeWord(a, static_cast<std::uint32_t>(a), victim));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteCacheCombine);
+
+void
+BM_FullSystemRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        MachineParams params = makeParams(ProtocolConfig::pcw());
+        params.numProcs = 8;
+        System sys(params);
+        auto w = makeWorkload("migratory", 0.1);
+        WorkloadRun run = runWorkload(sys, *w);
+        benchmark::DoNotOptimize(run.execTime);
+    }
+}
+BENCHMARK(BM_FullSystemRun)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Table 1: hardware needed to support BASIC and the extra hardware
+ * needed by each extension.
+ *
+ * This is a static cost model — the numbers come from the protocol
+ * definitions, exactly as in the paper: state bits per SLC line,
+ * state bits per memory line, extra per-cache mechanisms, and the
+ * SLWB features each extension needs.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace cpx;
+
+struct HwCost
+{
+    unsigned slcLineBits;     //!< state bits per SLC line
+    unsigned memLineBits;     //!< state bits per memory line
+    const char *mechanisms;
+    const char *slwbFeatures;
+};
+
+HwCost
+costOf(const ProtocolConfig &proto, unsigned num_nodes)
+{
+    unsigned log2n = 0;
+    while ((1u << log2n) < num_nodes)
+        ++log2n;
+
+    // BASIC: 2 bits per SLC line (3 states), 3 state bits + N
+    // presence bits per memory line.
+    HwCost c{2, 3 + num_nodes, "none",
+             "RC: several entries / SC: a single entry"};
+    if (proto.prefetch) {
+        // P: two extra bits per line, three modulo-16 counters.
+        c.slcLineBits += 2;
+        c.mechanisms = "3 modulo-16 counters (4 bits) per cache";
+    }
+    if (proto.migratory) {
+        // M: one extra cache state, migratory bit + log2 N pointer.
+        c.slcLineBits += 1;
+        c.memLineBits += 1 + log2n;
+    }
+    if (proto.compUpdate) {
+        // CW: 1-bit competitive counter per line (threshold 1) plus
+        // the locally-modified bit for the CW+M probe, and the
+        // four-block write cache.
+        c.slcLineBits += 2;
+        c.mechanisms = "write cache with four blocks per cache";
+    }
+    return c;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpx;
+    auto opts = bench::parseOptions(argc, argv);
+
+    bench::printBanner(
+        "Table 1 — hardware cost of BASIC and each extension",
+        "BASIC: 2 bits/SLC line, N+3 bits/memory line; P adds 2 "
+        "bits/line + 3 counters; M adds 1 state + migratory bit + "
+        "log2(N) pointer; CW adds a 1-bit counter + 4-block write "
+        "cache");
+
+    std::printf("%-8s %14s %16s\n", "config", "SLC line bits",
+                "memory line bits");
+    for (const ProtocolConfig &proto :
+         {ProtocolConfig::basic(), ProtocolConfig::p(),
+          ProtocolConfig::m(), ProtocolConfig::cw(),
+          ProtocolConfig::pcw(), ProtocolConfig::pm(),
+          ProtocolConfig::pcwm()}) {
+        HwCost c = costOf(proto, opts.procs);
+        std::printf("%-8s %14u %16u\n", proto.name().c_str(),
+                    c.slcLineBits, c.memLineBits);
+    }
+
+    std::printf("\nper-extension mechanisms:\n");
+    std::printf("  P : 3 modulo-16 counters per cache; prefetches "
+                "buffered in the SLWB\n");
+    std::printf("  M : migratory bit + log2(N)-bit last-writer "
+                "pointer per memory line;\n"
+                "      extra cache state to disable the optimization "
+                "on pattern change\n");
+    std::printf("  CW: modulo-2 competitive counter per line; "
+                "4-block write cache with\n"
+                "      per-word dirty bits; SLWB entries hold a "
+                "block\n");
+    return 0;
+}

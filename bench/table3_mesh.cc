@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table 3: impact of network contention on the execution-time ratio
+ * (ETR) of P+CW and P+M versus BASIC, on wormhole meshes with 64-,
+ * 32- and 16-bit links.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpx;
+    auto opts = bench::parseOptions(argc, argv);
+
+    bench::printBanner(
+        "Table 3 — execution-time ratio vs BASIC on wormhole meshes "
+        "(percent; lower is better)",
+        "P+CW's advantage shrinks (or inverts, e.g. MP3D 69%->109%) "
+        "as links narrow to 16 bits; P+M's ratios are nearly "
+        "link-width-insensitive");
+
+    const unsigned widths[] = {64, 32, 16};
+    const ProtocolConfig protos[] = {ProtocolConfig::pcw(),
+                                     ProtocolConfig::pm()};
+
+    // proto-name -> width -> app -> exec time (BASIC included).
+    std::map<std::string,
+             std::map<unsigned, std::map<std::string, Tick>>>
+        times;
+    for (unsigned bits : widths) {
+        for (const std::string &app : paperApplications()) {
+            MachineParams base =
+                makeParams(ProtocolConfig::basic(),
+                           Consistency::ReleaseConsistency,
+                           NetworkKind::Mesh, bits);
+            times["BASIC"][bits][app] =
+                bench::runOne(app, base, opts).execTime;
+            for (const ProtocolConfig &proto : protos) {
+                MachineParams ext =
+                    makeParams(proto,
+                               Consistency::ReleaseConsistency,
+                               NetworkKind::Mesh, bits);
+                times[proto.name()][bits][app] =
+                    bench::runOne(app, ext, opts).execTime;
+            }
+        }
+    }
+
+    for (const ProtocolConfig &proto : protos) {
+        std::printf("\n%s / BASIC:\n%-8s", proto.name().c_str(),
+                    "links");
+        for (const std::string &app : paperApplications())
+            std::printf(" %9s", app.c_str());
+        std::printf("\n");
+        for (unsigned bits : widths) {
+            std::printf("%2u-bit  ", bits);
+            for (const std::string &app : paperApplications()) {
+                double tb = static_cast<double>(
+                    times["BASIC"][bits][app]);
+                double te = static_cast<double>(
+                    times[proto.name()][bits][app]);
+                std::printf(" %8.0f%%", 100.0 * te / tb);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

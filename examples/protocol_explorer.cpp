@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Protocol explorer: run one application across every protocol
+ * combination, under either consistency model and either network,
+ * and print the full comparison — a one-binary version of the
+ * paper's whole evaluation for a single workload.
+ *
+ * Usage: protocol_explorer [app] [rc|sc] [uniform|mesh16|mesh32|mesh64]
+ *                          [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/config.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpx;
+
+    std::string app = argc > 1 ? argv[1] : "water";
+    std::string model = argc > 2 ? argv[2] : "rc";
+    std::string net = argc > 3 ? argv[3] : "uniform";
+    double scale = argc > 4 ? std::atof(argv[4]) : 0.5;
+
+    Consistency consistency =
+        model == "sc" ? Consistency::SequentialConsistency
+                      : Consistency::ReleaseConsistency;
+    NetworkKind kind = NetworkKind::Uniform;
+    unsigned link_bits = 64;
+    if (net.rfind("mesh", 0) == 0) {
+        kind = NetworkKind::Mesh;
+        if (net.size() > 4)
+            link_bits = static_cast<unsigned>(
+                std::atoi(net.c_str() + 4));
+    }
+
+    std::printf("exploring %s under %s on a %s network\n\n",
+                app.c_str(), model == "sc" ? "SC" : "RC",
+                net.c_str());
+
+    std::vector<RunResult> results;
+    for (const ProtocolConfig &proto : figure2Protocols()) {
+        // CW needs release consistency (§3.3): skip under SC.
+        if (consistency == Consistency::SequentialConsistency &&
+            proto.compUpdate)
+            continue;
+        MachineParams params =
+            makeParams(proto, consistency, kind, link_bits);
+        System sys(params);
+        auto w = makeWorkload(app, scale);
+        WorkloadRun run = runWorkload(sys, *w);
+        if (!run.verified)
+            std::printf("!! %s failed verification\n",
+                        proto.name().c_str());
+        results.push_back(run.stats);
+    }
+
+    printRelativeExecutionTimes(app + " — execution time", results,
+                                results.front());
+    printRelativeTraffic(app + " — network traffic", results,
+                         results.front());
+
+    std::printf("\nmiss rates and protocol activity:\n");
+    std::printf("%-10s %7s %7s %9s %9s %9s\n", "protocol", "cold%",
+                "coh%", "ownReqs", "invals", "updates");
+    for (const RunResult &r : results) {
+        std::printf("%-10s %7.3f %7.3f %9llu %9llu %9llu\n",
+                    r.protocol.c_str(), r.coldMissRate(),
+                    r.cohMissRate(),
+                    static_cast<unsigned long long>(
+                        r.ownershipRequests),
+                    static_cast<unsigned long long>(
+                        r.invalidationsSent),
+                    static_cast<unsigned long long>(
+                        r.updatesForwarded));
+    }
+    return 0;
+}

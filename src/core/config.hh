@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Convenience factories for the paper's experiment configurations.
+ */
+
+#ifndef CPX_CORE_CONFIG_HH
+#define CPX_CORE_CONFIG_HH
+
+#include <array>
+
+#include "proto/params.hh"
+
+namespace cpx
+{
+
+/**
+ * Build a MachineParams for one protocol/consistency/network
+ * combination, applying the paper's consistency-dependent buffer
+ * sizing (§5.1/§5.2).
+ */
+inline MachineParams
+makeParams(ProtocolConfig protocol,
+           Consistency consistency = Consistency::ReleaseConsistency,
+           NetworkKind network = NetworkKind::Uniform,
+           unsigned mesh_link_bits = 64)
+{
+    MachineParams p;
+    p.protocol = protocol;
+    p.consistency = consistency;
+    p.networkKind = network;
+    p.meshLinkBits = mesh_link_bits;
+    p.applyConsistencyDefaults();
+    return p;
+}
+
+/** The paper's Figure 2 protocol order (left to right). */
+inline std::array<ProtocolConfig, 8>
+figure2Protocols()
+{
+    return {ProtocolConfig::basic(), ProtocolConfig::p(),
+            ProtocolConfig::cw(),    ProtocolConfig::m(),
+            ProtocolConfig::pcw(),   ProtocolConfig::pm(),
+            ProtocolConfig::cwm(),   ProtocolConfig::pcwm()};
+}
+
+/** The protocols Figure 4 (traffic) plots. */
+inline std::array<ProtocolConfig, 6>
+figure4Protocols()
+{
+    return {ProtocolConfig::basic(), ProtocolConfig::p(),
+            ProtocolConfig::cw(),    ProtocolConfig::m(),
+            ProtocolConfig::pcw(),   ProtocolConfig::pm()};
+}
+
+} // namespace cpx
+
+#endif // CPX_CORE_CONFIG_HH

@@ -1,0 +1,216 @@
+#include "core/report.hh"
+
+#include <cstdio>
+
+namespace cpx
+{
+
+RunResult
+collectStats(System &sys, Tick exec_time)
+{
+    const MachineParams &p = sys.params();
+    RunResult r;
+    r.protocol = p.protocol.name();
+    r.consistency =
+        p.consistency == Consistency::ReleaseConsistency ? "RC" : "SC";
+    r.execTime = exec_time;
+
+    double n = p.numProcs;
+    for (NodeId i = 0; i < p.numProcs; ++i) {
+        const Processor &proc = sys.processor(i);
+        const auto &t = proc.times();
+        r.busy += t.busy / n;
+        r.readStall += t.readStall / n;
+        r.writeStall += t.writeStall / n;
+        r.acquireStall += t.acquireStall / n;
+        r.releaseStall += t.releaseStall / n;
+        r.sharedAccesses += proc.sharedAccesses();
+
+        const SlcController &slc = sys.node(i).slc;
+        r.coldReadMisses += slc.readMisses(MissKind::Cold);
+        r.cohReadMisses += slc.readMisses(MissKind::Coherence);
+        r.replReadMisses += slc.readMisses(MissKind::Replacement);
+        r.writeMissesTotal += slc.writeMisses(MissKind::Cold) +
+                              slc.writeMisses(MissKind::Coherence) +
+                              slc.writeMisses(MissKind::Replacement);
+        r.prefetchesIssued += slc.prefetchEngine().issued();
+        r.prefetchesUseful += slc.prefetchEngine().useful();
+        r.combinedWrites +=
+            slc.writeCacheUnit().combinedWrites().value();
+        r.counterInvalidations += slc.counterInvalidations();
+
+        const DirectoryController &dir = sys.node(i).dir;
+        r.ownershipRequests += dir.ownershipRequests();
+        r.invalidationsSent += dir.invalidationsSent();
+        r.updatesForwarded += dir.updatesForwarded();
+        r.migratoryDetections += dir.migratoryDetections();
+    }
+
+    // Weighted mean of per-node read-miss latencies.
+    double lat_sum = 0;
+    std::uint64_t lat_count = 0;
+    for (NodeId i = 0; i < p.numProcs; ++i) {
+        const Accumulator &acc = sys.node(i).slc.readMissLatency();
+        lat_sum += acc.sum();
+        lat_count += acc.count();
+    }
+    r.avgReadMissLatency = lat_count ? lat_sum / lat_count : 0.0;
+
+    r.netBytes = sys.net().totalBytes();
+    r.netMessages = sys.net().totalMessages();
+    for (unsigned k = 0; k < static_cast<unsigned>(
+                                 MsgClass::NumClasses);
+         ++k) {
+        r.classBytes[k] = sys.net().bytesOf(static_cast<MsgClass>(k));
+    }
+    return r;
+}
+
+std::string
+formatSystemStats(System &sys)
+{
+    const MachineParams &p = sys.params();
+    std::string out;
+    char line[192];
+    auto emit = [&](const char *fmt, auto... args) {
+        std::snprintf(line, sizeof(line), fmt, args...);
+        out += line;
+    };
+    auto ull = [](std::uint64_t v) {
+        return static_cast<unsigned long long>(v);
+    };
+
+    emit("system.protocol %s\n", p.protocol.name().c_str());
+    emit("system.consistency %s\n",
+         p.consistency == Consistency::ReleaseConsistency ? "RC"
+                                                          : "SC");
+    emit("system.numProcs %u\n", p.numProcs);
+    emit("system.eventsExecuted %llu\n", ull(sys.eq().executed()));
+    emit("network.bytes %llu\n", ull(sys.net().totalBytes()));
+    emit("network.messages %llu\n", ull(sys.net().totalMessages()));
+    const char *class_names[] = {"request", "data", "coherence",
+                                 "update", "sync"};
+    for (unsigned k = 0;
+         k < static_cast<unsigned>(MsgClass::NumClasses); ++k) {
+        emit("network.bytes.%s %llu\n", class_names[k],
+             ull(sys.net().bytesOf(static_cast<MsgClass>(k))));
+    }
+
+    for (NodeId n = 0; n < p.numProcs; ++n) {
+        const Node &node = sys.node(n);
+        const auto &t = node.proc.times();
+        emit("proc%u.busy %llu\n", n, ull(t.busy));
+        emit("proc%u.readStall %llu\n", n, ull(t.readStall));
+        emit("proc%u.writeStall %llu\n", n, ull(t.writeStall));
+        emit("proc%u.acquireStall %llu\n", n, ull(t.acquireStall));
+        emit("proc%u.releaseStall %llu\n", n, ull(t.releaseStall));
+        emit("proc%u.sharedReads %llu\n", n,
+             ull(node.proc.sharedReads()));
+        emit("proc%u.sharedWrites %llu\n", n,
+             ull(node.proc.sharedWrites()));
+        emit("proc%u.lockAcquires %llu\n", n,
+             ull(node.proc.lockAcquires()));
+
+        // The FLC and write cache expose Counter references: use the
+        // generic StatGroup renderer for them.
+        StatGroup flc_group("node" + std::to_string(n) + ".flc");
+        flc_group.addCounter("readHits", &node.flc.readHitCount());
+        flc_group.addCounter("readMisses",
+                             &node.flc.readMissCount());
+        flc_group.addCounter("writeHits", &node.flc.writeHitCount());
+        flc_group.addCounter("writeMisses",
+                             &node.flc.writeMissCount());
+        flc_group.dump(out);
+
+        const SlcController &slc = node.slc;
+        emit("node%u.slc.readMissCold %llu\n", n,
+             ull(slc.readMisses(MissKind::Cold)));
+        emit("node%u.slc.readMissCoherence %llu\n", n,
+             ull(slc.readMisses(MissKind::Coherence)));
+        emit("node%u.slc.readMissReplacement %llu\n", n,
+             ull(slc.readMisses(MissKind::Replacement)));
+        emit("node%u.slc.readHits %llu\n", n, ull(slc.readHits()));
+        emit("node%u.slc.counterInvalidations %llu\n", n,
+             ull(slc.counterInvalidations()));
+        emit("node%u.slc.updatesReceived %llu\n", n,
+             ull(slc.updatesReceived()));
+        emit("node%u.slc.avgReadMissLatency %.1f\n", n,
+             slc.readMissLatency().mean());
+        emit("node%u.prefetch.issued %llu\n", n,
+             ull(slc.prefetchEngine().issued()));
+        emit("node%u.prefetch.useful %llu\n", n,
+             ull(slc.prefetchEngine().useful()));
+
+        StatGroup wc_group("node" + std::to_string(n) +
+                           ".writeCache");
+        wc_group.addCounter("combinedWrites",
+                            &slc.writeCacheUnit().combinedWrites());
+        wc_group.addCounter("victimFlushes",
+                            &slc.writeCacheUnit().victimFlushes());
+        wc_group.dump(out);
+
+        const DirectoryController &dir = node.dir;
+        emit("node%u.dir.readRequests %llu\n", n,
+             ull(dir.readRequests()));
+        emit("node%u.dir.ownershipRequests %llu\n", n,
+             ull(dir.ownershipRequests()));
+        emit("node%u.dir.invalidationsSent %llu\n", n,
+             ull(dir.invalidationsSent()));
+        emit("node%u.dir.fetchesSent %llu\n", n,
+             ull(dir.fetchesSent()));
+        emit("node%u.dir.updatesForwarded %llu\n", n,
+             ull(dir.updatesForwarded()));
+        emit("node%u.dir.migratoryDetections %llu\n", n,
+             ull(dir.migratoryDetections()));
+        emit("node%u.dir.migratoryDemotions %llu\n", n,
+             ull(dir.migratoryDemotions()));
+        emit("node%u.dir.writeBacks %llu\n", n, ull(dir.writeBacks()));
+        emit("node%u.locks.acquires %llu\n", n,
+             ull(node.locks.acquires()));
+        emit("node%u.locks.queued %llu\n", n,
+             ull(node.locks.queuedAcquires()));
+        emit("node%u.bus.busyTicks %llu\n", n,
+             ull(node.bus.totalBusy()));
+        emit("node%u.bus.waitTicks %llu\n", n,
+             ull(node.bus.totalWait()));
+    }
+    return out;
+}
+
+void
+printRelativeExecutionTimes(const std::string &title,
+                            const std::vector<RunResult> &results,
+                            const RunResult &baseline)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%-10s %8s | %6s %6s %6s %6s %6s | %8s\n", "protocol",
+                "rel.time", "busy", "read", "write", "acq", "rel",
+                "ticks");
+    double base = static_cast<double>(baseline.execTime);
+    for (const RunResult &r : results) {
+        double scale = base > 0 ? 100.0 / base : 0.0;
+        std::printf(
+            "%-10s %8.1f | %6.1f %6.1f %6.1f %6.1f %6.1f | %8llu\n",
+            r.protocol.c_str(), r.execTime * scale, r.busy * scale,
+            r.readStall * scale, r.writeStall * scale,
+            r.acquireStall * scale, r.releaseStall * scale,
+            static_cast<unsigned long long>(r.execTime));
+    }
+}
+
+void
+printRelativeTraffic(const std::string &title,
+                     const std::vector<RunResult> &results,
+                     const RunResult &baseline)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%-10s %12s %10s\n", "protocol", "bytes", "rel.traffic");
+    double base = static_cast<double>(baseline.netBytes);
+    for (const RunResult &r : results) {
+        std::printf("%-10s %12llu %9.1f%%\n", r.protocol.c_str(),
+                    static_cast<unsigned long long>(r.netBytes),
+                    base > 0 ? 100.0 * r.netBytes / base : 0.0);
+    }
+}
+
+} // namespace cpx

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Statistics collection and report formatting.
+ *
+ * collectStats() aggregates one finished System run into a RunResult;
+ * the printing helpers render the relative execution-time bars of
+ * Figures 2/3 and the rate/traffic tables as text.
+ */
+
+#ifndef CPX_CORE_REPORT_HH
+#define CPX_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace cpx
+{
+
+/** Aggregated results of one workload × configuration run. */
+struct RunResult
+{
+    std::string protocol;    //!< "BASIC", "P+CW", ...
+    std::string consistency; //!< "RC" or "SC"
+    Tick execTime = 0;       //!< parallel-section execution time
+
+    // Per-processor time breakdown, averaged across processors.
+    double busy = 0;
+    double readStall = 0;
+    double writeStall = 0;
+    double acquireStall = 0;
+    double releaseStall = 0;
+
+    std::uint64_t sharedAccesses = 0;
+    std::uint64_t coldReadMisses = 0;
+    std::uint64_t cohReadMisses = 0;
+    std::uint64_t replReadMisses = 0;
+    std::uint64_t writeMissesTotal = 0;
+
+    std::uint64_t netBytes = 0;
+    std::uint64_t netMessages = 0;
+    /** Bytes by message class, indexed by MsgClass. */
+    std::uint64_t classBytes[static_cast<unsigned>(
+        MsgClass::NumClasses)] = {};
+
+    std::uint64_t
+    bytesOf(MsgClass klass) const
+    {
+        return classBytes[static_cast<unsigned>(klass)];
+    }
+
+    std::uint64_t ownershipRequests = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t updatesForwarded = 0;
+    std::uint64_t migratoryDetections = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesUseful = 0;
+    std::uint64_t combinedWrites = 0;       //!< CW write-cache merges
+    std::uint64_t counterInvalidations = 0; //!< CW competitive expiries
+    double avgReadMissLatency = 0;
+
+    /** Cold miss rate in percent of shared accesses (Table 2). */
+    double
+    coldMissRate() const
+    {
+        return sharedAccesses
+                   ? 100.0 * coldReadMisses / sharedAccesses
+                   : 0.0;
+    }
+
+    /** Coherence miss rate in percent of shared accesses (Table 2). */
+    double
+    cohMissRate() const
+    {
+        return sharedAccesses ? 100.0 * cohReadMisses / sharedAccesses
+                              : 0.0;
+    }
+};
+
+/** Gather statistics from a finished run. */
+RunResult collectStats(System &sys, Tick exec_time);
+
+/**
+ * Print a Figure-2/3-style table: one row per result, execution time
+ * relative to @p baseline (=100), decomposed into stall components.
+ */
+void printRelativeExecutionTimes(const std::string &title,
+                                 const std::vector<RunResult> &results,
+                                 const RunResult &baseline);
+
+/** Print absolute traffic normalized to @p baseline (Figure 4). */
+void printRelativeTraffic(const std::string &title,
+                          const std::vector<RunResult> &results,
+                          const RunResult &baseline);
+
+/**
+ * Render every component statistic of a finished system —
+ * per-processor time breakdowns, per-node cache/directory/lock/
+ * prefetch counters, resource occupancy, and network totals — as
+ * "component.stat value" lines (gem5-style stats dump).
+ */
+std::string formatSystemStats(System &sys);
+
+} // namespace cpx
+
+#endif // CPX_CORE_REPORT_HH

@@ -1,0 +1,99 @@
+#include "core/system.hh"
+
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+System::System(const MachineParams &machine_params)
+    : params_(machine_params),
+      addressMap(params_.blockBytes, params_.pageBytes,
+                 params_.numProcs),
+      backingStore(params_.pageBytes),
+      sharedHeap(addressMap)
+{
+    if (params_.numProcs == 0 || params_.numProcs > 64)
+        fatal("numProcs must be in 1..64 (presence vector width)");
+    if (params_.protocol.compUpdate &&
+        params_.consistency == Consistency::SequentialConsistency) {
+        fatal("the competitive-update extension (CW) requires "
+              "release consistency (paper §3.3/§5.2)");
+    }
+    if (params_.slwbEntries == 0 || params_.flwbEntries == 0)
+        fatal("write buffers need at least one entry");
+
+    switch (params_.networkKind) {
+      case NetworkKind::Uniform:
+        network = std::make_unique<UniformNetwork>(
+            eventQueue, params_.uniformHopLatency);
+        break;
+      case NetworkKind::Mesh: {
+        auto mesh_net = std::make_unique<MeshNetwork>(
+            eventQueue, params_.numProcs, params_.meshLinkBits);
+        meshPtr = mesh_net.get();
+        network = std::move(mesh_net);
+        break;
+      }
+    }
+
+    nodes.reserve(params_.numProcs);
+    for (NodeId n = 0; n < params_.numProcs; ++n)
+        nodes.push_back(std::make_unique<Node>(n, *this));
+}
+
+Tick
+System::run(const std::function<void(Processor &, unsigned)> &body,
+            Tick limit)
+{
+    if (ran)
+        fatal("System::run called twice; construct a fresh System "
+              "per run (caches would be warm)");
+    ran = true;
+
+    for (NodeId n = 0; n < params_.numProcs; ++n) {
+        Processor &p = nodes[n]->proc;
+        unsigned id = n;
+        p.start([&body, &p, id] { body(p, id); });
+    }
+
+    eventQueue.run(limit);
+
+    Tick finish = 0;
+    for (NodeId n = 0; n < params_.numProcs; ++n) {
+        const Processor &p = nodes[n]->proc;
+        if (!p.finished()) {
+            panic("processor %u did not finish (deadlock or tick "
+                  "limit %llu reached at t=%llu; %zu events pending)",
+                  n, static_cast<unsigned long long>(limit),
+                  static_cast<unsigned long long>(eventQueue.now()),
+                  eventQueue.pending());
+        }
+        finish = std::max(finish, p.finishTick());
+    }
+    return finish;
+}
+
+void
+System::flushFunctionalState()
+{
+    for (auto &n : nodes)
+        n->slc.flushFunctionalState();
+}
+
+bool
+System::quiescent() const
+{
+    for (const auto &n : nodes) {
+        if (n->slc.pendingTransactions() != 0)
+            return false;
+        if (n->slc.pendingWriteClass() != 0)
+            return false;
+        if (n->dir.blocksInService() != 0)
+            return false;
+        if (n->locks.heldLocks() != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cpx

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * System assembly: builds the full 16-node CC-NUMA machine from a
+ * MachineParams description and runs workloads on it.
+ *
+ * A System is single-use: construct, (optionally) initialize shared
+ * data through heap()/store(), call run() once, then read statistics.
+ * The benchmark harness constructs a fresh System per configuration.
+ */
+
+#ifndef CPX_CORE_SYSTEM_HH
+#define CPX_CORE_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "mem/shared_heap.hh"
+#include "net/mesh.hh"
+#include "net/network.hh"
+#include "node/node.hh"
+#include "proto/fabric.hh"
+
+namespace cpx
+{
+
+class System : public Fabric
+{
+  public:
+    explicit System(const MachineParams &machine_params);
+
+    // --- Fabric ---------------------------------------------------------------
+    EventQueue &eq() override { return eventQueue; }
+    Network &net() override { return *network; }
+    const AddressMap &amap() const override { return addressMap; }
+    const MachineParams &params() const override { return params_; }
+    BackingStore &store() override { return backingStore; }
+
+    SlcController &slc(NodeId n) override { return nodes[n]->slc; }
+    DirectoryController &dir(NodeId n) override { return nodes[n]->dir; }
+    LockManager &locks(NodeId n) override { return nodes[n]->locks; }
+    ProcessorIface &proc(NodeId n) override { return nodes[n]->proc; }
+    Resource &bus(NodeId n) override { return nodes[n]->bus; }
+
+    // --- concrete accessors ------------------------------------------------
+    Processor &processor(NodeId n) { return nodes[n]->proc; }
+    Node &node(NodeId n) { return *nodes[n]; }
+    const Node &node(NodeId n) const { return *nodes[n]; }
+    SharedHeap &heap() { return sharedHeap; }
+
+    /** The mesh model, or nullptr when the uniform network is used. */
+    MeshNetwork *mesh() { return meshPtr; }
+
+    // --- execution ---------------------------------------------------------
+    /**
+     * Run @p body on every processor (as the parallel section) until
+     * all of them finish.
+     *
+     * @param body  per-processor workload function
+     * @param limit safety cap on simulated time
+     * @return the parallel-section execution time (max finish tick)
+     */
+    Tick run(const std::function<void(Processor &, unsigned)> &body,
+             Tick limit = maxTick);
+
+    /**
+     * Push all cached dirty data back to memory, functionally (no
+     * timing). Call after run(), before verifying results.
+     */
+    void flushFunctionalState();
+
+    /**
+     * @return true iff no transactions, buffered writes or held
+     * locks remain anywhere (protocol drained cleanly).
+     */
+    bool quiescent() const;
+
+  private:
+    MachineParams params_;
+    EventQueue eventQueue;
+    AddressMap addressMap;
+    BackingStore backingStore;
+    SharedHeap sharedHeap;
+    std::unique_ptr<Network> network;
+    MeshNetwork *meshPtr = nullptr;
+    std::vector<std::unique_ptr<Node>> nodes;
+    bool ran = false;
+};
+
+} // namespace cpx
+
+#endif // CPX_CORE_SYSTEM_HH

@@ -1,0 +1,85 @@
+#include "fiber/fiber.hh"
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+namespace
+{
+
+/// The fiber running right now (nullptr on the scheduler's own stack).
+thread_local Fiber *currentFiber = nullptr;
+
+} // anonymous namespace
+
+Fiber::Fiber(Entry entry_fn, std::size_t stack_size)
+    : entry(std::move(entry_fn)), stack(new char[stack_size])
+{
+    if (getcontext(&context) != 0)
+        panic("getcontext failed");
+    context.uc_stack.ss_sp = stack.get();
+    context.uc_stack.ss_size = stack_size;
+    context.uc_link = nullptr;
+
+    // makecontext only passes ints; smuggle the object pointer
+    // through two 32-bit halves.
+    auto self = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&context, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                2, static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber()
+{
+    if (started && !finished_)
+        warn("destroying a fiber that has not finished");
+}
+
+void
+Fiber::trampoline(unsigned hi, unsigned lo)
+{
+    auto self = reinterpret_cast<Fiber *>(
+        (static_cast<std::uintptr_t>(hi) << 32) | lo);
+    self->entry();
+    self->finished_ = true;
+    // Return to the resumer for the last time.
+    currentFiber = nullptr;
+    swapcontext(&self->context, &self->callerContext);
+    panic("resumed a finished fiber");
+}
+
+void
+Fiber::resume()
+{
+    if (finished_)
+        panic("resume() on a finished fiber");
+    started = true;
+    Fiber *previous = currentFiber;
+    currentFiber = this;
+    if (swapcontext(&callerContext, &context) != 0)
+        panic("swapcontext into fiber failed");
+    currentFiber = previous;
+}
+
+void
+Fiber::yield()
+{
+    Fiber *self = currentFiber;
+    if (!self)
+        panic("Fiber::yield() called outside any fiber");
+    currentFiber = nullptr;
+    if (swapcontext(&self->context, &self->callerContext) != 0)
+        panic("swapcontext out of fiber failed");
+    currentFiber = self;
+}
+
+Fiber *
+Fiber::current()
+{
+    return currentFiber;
+}
+
+} // namespace cpx

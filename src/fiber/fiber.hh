@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cooperative fibers (user-level contexts).
+ *
+ * Program-driven simulation needs one execution context per simulated
+ * processor: workload code runs natively and blocks inside the
+ * simulator API whenever a shared-memory access must be timed. Fibers
+ * give us that with deterministic, single-OS-thread scheduling —
+ * the same structure as the CacheMire Test Bench the paper used.
+ *
+ * Implemented with POSIX ucontext. Only the simulation kernel thread
+ * may touch fibers; they are not thread-safe by design.
+ */
+
+#ifndef CPX_FIBER_FIBER_HH
+#define CPX_FIBER_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace cpx
+{
+
+/**
+ * A run-to-yield cooperative execution context.
+ *
+ * Lifecycle: construct with an entry function; repeatedly resume()
+ * until finished(). Inside the fiber, Fiber::yield() suspends and
+ * returns control to the most recent resume() caller.
+ */
+class Fiber
+{
+  public:
+    using Entry = std::function<void()>;
+
+    /**
+     * @param entry      function the fiber executes
+     * @param stack_size fiber stack in bytes (workloads recurse very
+     *                   little; 256 KiB default is generous)
+     */
+    explicit Fiber(Entry entry, std::size_t stack_size = 256 * 1024);
+
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Switch into the fiber; returns when the fiber yields or its
+     * entry function returns.
+     * @pre !finished()
+     */
+    void resume();
+
+    /**
+     * Suspend the currently running fiber and return to its resumer.
+     * @pre called from inside a fiber
+     */
+    static void yield();
+
+    /** The fiber currently executing, or nullptr if on the main stack. */
+    static Fiber *current();
+
+    /** @return true once the entry function has returned. */
+    bool finished() const { return finished_; }
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+
+    Entry entry;
+    std::unique_ptr<char[]> stack;
+    ucontext_t context;
+    ucontext_t callerContext;
+    bool started = false;
+    bool finished_ = false;
+};
+
+} // namespace cpx
+
+#endif // CPX_FIBER_FIBER_HH

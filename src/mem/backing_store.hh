@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Functional memory for the simulated shared address space.
+ *
+ * The simulator is program-driven: workload code computes on real
+ * values. The backing store holds those values; the timing model
+ * (caches, directory, network) decides *when* accesses complete.
+ * Storage is sparse, allocated in pages on first touch.
+ */
+
+#ifndef CPX_MEM_BACKING_STORE_HH
+#define CPX_MEM_BACKING_STORE_HH
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+class BackingStore
+{
+  public:
+    explicit BackingStore(unsigned page_bytes = 4096)
+        : pageBytes(page_bytes)
+    {}
+
+    std::uint32_t
+    read32(Addr a) const
+    {
+        std::uint32_t v = 0;
+        readBytes(a, &v, sizeof(v));
+        return v;
+    }
+
+    void
+    write32(Addr a, std::uint32_t v)
+    {
+        writeBytes(a, &v, sizeof(v));
+    }
+
+    std::uint64_t
+    read64(Addr a) const
+    {
+        std::uint64_t v = 0;
+        readBytes(a, &v, sizeof(v));
+        return v;
+    }
+
+    void
+    write64(Addr a, std::uint64_t v)
+    {
+        writeBytes(a, &v, sizeof(v));
+    }
+
+    double
+    readDouble(Addr a) const
+    {
+        std::uint64_t bits = read64(a);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    void
+    writeDouble(Addr a, double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        write64(a, bits);
+    }
+
+    void
+    readBytes(Addr a, void *dst, std::size_t n) const
+    {
+        auto *out = static_cast<std::uint8_t *>(dst);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = byteAt(a + i);
+    }
+
+    void
+    writeBytes(Addr a, const void *src, std::size_t n)
+    {
+        const auto *in = static_cast<const std::uint8_t *>(src);
+        for (std::size_t i = 0; i < n; ++i)
+            byteAt(a + i) = in[i];
+    }
+
+    /** Number of pages materialized so far. */
+    std::size_t pagesAllocated() const { return pages.size(); }
+
+  private:
+    std::uint8_t &
+    byteAt(Addr a)
+    {
+        Addr page = a / pageBytes;
+        auto &storage = pages[page];
+        if (!storage)
+            storage = std::make_unique<std::uint8_t[]>(pageBytes);
+        return storage[a % pageBytes];
+    }
+
+    std::uint8_t
+    byteAt(Addr a) const
+    {
+        Addr page = a / pageBytes;
+        auto it = pages.find(page);
+        if (it == pages.end())
+            return 0;
+        return it->second[a % pageBytes];
+    }
+
+    unsigned pageBytes;
+    mutable std::unordered_map<Addr, std::unique_ptr<std::uint8_t[]>>
+        pages;
+};
+
+} // namespace cpx
+
+#endif // CPX_MEM_BACKING_STORE_HH

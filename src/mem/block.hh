@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Cache-block address arithmetic.
+ *
+ * The whole system uses one global block size (32 bytes in the
+ * paper's configuration) carried in the system parameters; these
+ * helpers keep the mask math in one place.
+ */
+
+#ifndef CPX_MEM_BLOCK_HH
+#define CPX_MEM_BLOCK_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+/** Address ↔ block/page arithmetic for one (block, page) geometry. */
+class AddressMap
+{
+  public:
+    AddressMap(unsigned block_bytes, unsigned page_bytes,
+               unsigned num_nodes)
+        : blockBytes_(block_bytes), pageBytes_(page_bytes),
+          numNodes_(num_nodes)
+    {
+        if ((block_bytes & (block_bytes - 1)) != 0 || block_bytes == 0)
+            fatal("block size must be a power of two");
+        if ((page_bytes & (page_bytes - 1)) != 0 ||
+            page_bytes < block_bytes) {
+            fatal("page size must be a power of two >= block size");
+        }
+        if (num_nodes == 0)
+            fatal("need at least one node");
+    }
+
+    unsigned blockBytes() const { return blockBytes_; }
+    unsigned pageBytes() const { return pageBytes_; }
+    unsigned wordsPerBlock() const { return blockBytes_ / wordBytes; }
+
+    /** First byte of the block containing @p a. */
+    Addr blockAddr(Addr a) const { return a & ~Addr(blockBytes_ - 1); }
+
+    /** Byte offset of @p a within its block. */
+    unsigned blockOffset(Addr a) const {
+        return static_cast<unsigned>(a & (blockBytes_ - 1));
+    }
+
+    /** Word index of @p a within its block. */
+    unsigned wordInBlock(Addr a) const {
+        return blockOffset(a) / wordBytes;
+    }
+
+    /** Virtual page number of @p a. */
+    Addr pageNum(Addr a) const { return a / pageBytes_; }
+
+    /**
+     * Home node of the page containing @p a: round-robin on the
+     * virtual page number, as in the paper (§4).
+     */
+    NodeId home(Addr a) const {
+        return static_cast<NodeId>(pageNum(a) % numNodes_);
+    }
+
+    /** True iff @p a and @p b fall in the same block. */
+    bool sameBlock(Addr a, Addr b) const {
+        return blockAddr(a) == blockAddr(b);
+    }
+
+  private:
+    unsigned blockBytes_;
+    unsigned pageBytes_;
+    unsigned numNodes_;
+};
+
+} // namespace cpx
+
+#endif // CPX_MEM_BLOCK_HH

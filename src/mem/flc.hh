@@ -1,0 +1,101 @@
+/**
+ * @file
+ * First-level cache model.
+ *
+ * Per the paper (§2): direct-mapped, write-through, no allocation on
+ * write misses, blocking on read misses, kept included in the SLC.
+ * The FLC is purely a hit/miss filter for the timing model — data
+ * lives in the functional backing store.
+ */
+
+#ifndef CPX_MEM_FLC_HH
+#define CPX_MEM_FLC_HH
+
+#include "mem/tag_store.hh"
+#include "sim/stats.hh"
+
+namespace cpx
+{
+
+class Flc
+{
+  public:
+    struct Line
+    {
+        bool valid = false;
+    };
+
+    /**
+     * @param amap        address geometry
+     * @param size_bytes  total capacity (4 KB in the paper)
+     */
+    Flc(const AddressMap &amap, std::size_t size_bytes)
+        : map(amap),
+          tags(amap.blockBytes(),
+               size_bytes ? size_bytes / amap.blockBytes() : 0)
+    {}
+
+    /** Probe for a read. Updates hit/miss statistics. */
+    bool
+    readProbe(Addr a)
+    {
+        bool hit = tags.find(a) != nullptr;
+        if (hit)
+            ++readHits;
+        else
+            ++readMisses;
+        return hit;
+    }
+
+    /**
+     * Probe for a write. Write-through: a hit updates the line in
+     * place (functionally a no-op here); a miss does not allocate.
+     */
+    bool
+    writeProbe(Addr a)
+    {
+        bool hit = tags.find(a) != nullptr;
+        if (hit)
+            ++writeHits;
+        else
+            ++writeMisses;
+        return hit;
+    }
+
+    /**
+     * Fill the block containing @p a after an SLC supply.
+     * Direct-mapped: silently displaces any conflicting block
+     * (write-through means no dirty data can be lost).
+     */
+    void
+    fill(Addr a)
+    {
+        tags.insert(a);
+    }
+
+    /** Invalidate the block containing @p a (inclusion with SLC). */
+    void
+    invalidate(Addr a)
+    {
+        tags.erase(a);
+    }
+
+    bool contains(Addr a) const { return tags.find(a) != nullptr; }
+
+    const Counter &readHitCount() const { return readHits; }
+    const Counter &readMissCount() const { return readMisses; }
+    const Counter &writeHitCount() const { return writeHits; }
+    const Counter &writeMissCount() const { return writeMisses; }
+
+  private:
+    const AddressMap &map;
+    TagStore<Line> tags;
+    Counter readHits;
+    Counter readMisses;
+    Counter writeHits;
+    Counter writeMisses;
+};
+
+} // namespace cpx
+
+#endif // CPX_MEM_FLC_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Allocator for the simulated shared address space.
+ *
+ * Workloads obtain shared data through this bump allocator. Pages are
+ * assigned home nodes round-robin on the virtual page number via
+ * AddressMap::home(), matching the paper's page placement policy.
+ *
+ * Lock variables get a whole block each (the paper models one lock
+ * variable per memory block, as in DASH's queue-based locks).
+ */
+
+#ifndef CPX_MEM_SHARED_HEAP_HH
+#define CPX_MEM_SHARED_HEAP_HH
+
+#include "mem/block.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+class SharedHeap
+{
+  public:
+    explicit SharedHeap(const AddressMap &amap, Addr base = 0x10000)
+        : map(amap), next(base)
+    {}
+
+    /**
+     * Allocate @p bytes with the given alignment (power of two).
+     * @return the base address of the allocation
+     */
+    Addr
+    alloc(std::size_t bytes, std::size_t align = wordBytes)
+    {
+        if (align == 0 || (align & (align - 1)) != 0)
+            fatal("allocation alignment must be a power of two");
+        next = (next + align - 1) & ~Addr(align - 1);
+        Addr base = next;
+        next += bytes;
+        return base;
+    }
+
+    /** Allocate an array of @p count 32-bit words. */
+    Addr
+    allocWords(std::size_t count)
+    {
+        return alloc(count * wordBytes, wordBytes);
+    }
+
+    /** Allocate an array of @p count 64-bit doubles. */
+    Addr
+    allocDoubles(std::size_t count)
+    {
+        return alloc(count * 8, 8);
+    }
+
+    /** Allocate block-aligned storage (avoids false sharing). */
+    Addr
+    allocBlockAligned(std::size_t bytes)
+    {
+        std::size_t rounded =
+            (bytes + map.blockBytes() - 1) & ~std::size_t(
+                map.blockBytes() - 1);
+        return alloc(rounded, map.blockBytes());
+    }
+
+    /** Allocate a lock variable: one full block, block-aligned. */
+    Addr
+    allocLock()
+    {
+        return allocBlockAligned(map.blockBytes());
+    }
+
+    /**
+     * Allocate hot synchronization data with trailing padding so
+     * that sequential prefetches running past a neighbouring
+     * allocation cannot pull the synchronization block into
+     * unrelated caches (SPLASH pads its sync structures the same
+     * way).
+     */
+    Addr
+    allocIsolated(std::size_t bytes, unsigned pad_blocks = 16)
+    {
+        Addr a = allocBlockAligned(bytes);
+        alloc(static_cast<std::size_t>(pad_blocks) *
+                  map.blockBytes(),
+              map.blockBytes());
+        return a;
+    }
+
+    /** Skip to the start of the next page (to steer home placement). */
+    void
+    padToNextPage()
+    {
+        next = (next + map.pageBytes() - 1) &
+               ~Addr(map.pageBytes() - 1);
+    }
+
+    /** Total bytes allocated so far (including alignment padding). */
+    Addr bytesAllocated() const { return next; }
+
+    const AddressMap &addressMap() const { return map; }
+
+  private:
+    const AddressMap &map;
+    Addr next;
+};
+
+} // namespace cpx
+
+#endif // CPX_MEM_SHARED_HEAP_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Direct-mapped tag stores, finite or infinite.
+ *
+ * The paper's default configuration uses an *infinite* second-level
+ * cache (so replacement misses vanish and cold/coherence components
+ * can be isolated); §5.4 re-runs with a finite 16 KB SLC. TagStore
+ * supports both through one interface: construct with numSets == 0
+ * for the infinite variant.
+ *
+ * The Line type is supplied by the client (the SLC controller keeps
+ * protocol state in it); it must provide a default constructor and a
+ * `bool valid` member.
+ */
+
+#ifndef CPX_MEM_TAG_STORE_HH
+#define CPX_MEM_TAG_STORE_HH
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/block.hh"
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+template <typename Line>
+class TagStore
+{
+  public:
+    /**
+     * @param block_bytes block size
+     * @param num_sets    number of direct-mapped sets, or 0 for an
+     *                    infinite cache
+     */
+    TagStore(unsigned block_bytes, std::size_t num_sets)
+        : blockBytes(block_bytes), numSets(num_sets)
+    {
+        if (numSets)
+            sets.resize(numSets);
+    }
+
+    bool infinite() const { return numSets == 0; }
+
+    /** Block-aligned address of @p a. */
+    Addr align(Addr a) const { return a & ~Addr(blockBytes - 1); }
+
+    /** Find the valid line caching @p a, or nullptr. */
+    Line *
+    find(Addr a)
+    {
+        Addr blk = align(a);
+        if (infinite()) {
+            auto it = map.find(blk);
+            return it == map.end() ? nullptr : &it->second;
+        }
+        Entry &e = sets[setIndex(blk)];
+        return (e.line.valid && e.tag == blk) ? &e.line : nullptr;
+    }
+
+    const Line *
+    find(Addr a) const
+    {
+        return const_cast<TagStore *>(this)->find(a);
+    }
+
+    /**
+     * The valid line that @p a would evict on fill, or nullptr if the
+     * target frame is free (always free in an infinite cache). The
+     * returned pair carries the victim's block address.
+     */
+    std::pair<Addr, Line *>
+    victimFor(Addr a)
+    {
+        if (infinite())
+            return {0, nullptr};
+        Addr blk = align(a);
+        Entry &e = sets[setIndex(blk)];
+        if (e.line.valid && e.tag != blk)
+            return {e.tag, &e.line};
+        return {0, nullptr};
+    }
+
+    /**
+     * Install a fresh line for @p a and return it. Any previous
+     * occupant of the frame is overwritten.
+     * @post find(a) == the returned line
+     */
+    Line *
+    insert(Addr a)
+    {
+        Addr blk = align(a);
+        if (infinite()) {
+            Line &l = map[blk];
+            l = Line{};
+            l.valid = true;
+            return &l;
+        }
+        Entry &e = sets[setIndex(blk)];
+        e.tag = blk;
+        e.line = Line{};
+        e.line.valid = true;
+        return &e.line;
+    }
+
+    /** Remove the line caching @p a, if any. */
+    void
+    erase(Addr a)
+    {
+        Addr blk = align(a);
+        if (infinite()) {
+            map.erase(blk);
+            return;
+        }
+        Entry &e = sets[setIndex(blk)];
+        if (e.line.valid && e.tag == blk)
+            e.line.valid = false;
+    }
+
+    /** Number of valid lines currently held. */
+    std::size_t
+    size() const
+    {
+        if (infinite())
+            return map.size();
+        std::size_t n = 0;
+        for (const Entry &e : sets)
+            if (e.line.valid)
+                ++n;
+        return n;
+    }
+
+    /** Visit every valid line as f(blockAddr, Line&). */
+    template <typename F>
+    void
+    forEach(F &&f)
+    {
+        if (infinite()) {
+            for (auto &[blk, line] : map)
+                f(blk, line);
+            return;
+        }
+        for (Entry &e : sets)
+            if (e.line.valid)
+                f(e.tag, e.line);
+    }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Line line{};
+    };
+
+    std::size_t
+    setIndex(Addr blk) const
+    {
+        return static_cast<std::size_t>((blk / blockBytes) % numSets);
+    }
+
+    unsigned blockBytes;
+    std::size_t numSets;
+    std::vector<Entry> sets;               //!< finite mode
+    std::unordered_map<Addr, Line> map;    //!< infinite mode
+};
+
+} // namespace cpx
+
+#endif // CPX_MEM_TAG_STORE_HH

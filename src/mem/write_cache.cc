@@ -1,0 +1,112 @@
+#include "mem/write_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+WriteCache::WriteCache(const AddressMap &amap, unsigned num_blocks)
+    : map(amap), numBlocks(num_blocks), frames(num_blocks)
+{
+    if (num_blocks == 0)
+        fatal("write cache needs at least one block");
+    for (Frame &f : frames)
+        f.words.resize(map.wordsPerBlock(), 0);
+}
+
+unsigned
+WriteCache::frameFor(Addr block_addr) const
+{
+    return static_cast<unsigned>(
+        (block_addr / map.blockBytes()) % numBlocks);
+}
+
+bool
+WriteCache::writeWord(Addr addr, std::uint32_t value,
+                      WriteCacheFlush &evicted)
+{
+    Addr blk = map.blockAddr(addr);
+    Frame &f = frames[frameFor(blk)];
+    unsigned word = map.wordInBlock(addr);
+    std::uint32_t bit = 1u << word;
+
+    if (f.valid && f.blockAddr == blk) {
+        // This write combines with earlier writes to the same block:
+        // it will ride in the same flush message.
+        ++combined;
+        f.dirtyMask |= bit;
+        f.words[word] = value;
+        return false;
+    }
+
+    bool evict = f.valid;
+    if (evict) {
+        evicted = WriteCacheFlush{f.blockAddr, f.dirtyMask, f.words};
+        ++victims;
+    }
+    f.valid = true;
+    f.blockAddr = blk;
+    f.dirtyMask = bit;
+    f.words[word] = value;
+    return evict;
+}
+
+bool
+WriteCache::contains(Addr addr) const
+{
+    Addr blk = map.blockAddr(addr);
+    const Frame &f = frames[frameFor(blk)];
+    return f.valid && f.blockAddr == blk;
+}
+
+bool
+WriteCache::readWord(Addr addr, std::uint32_t &value) const
+{
+    Addr blk = map.blockAddr(addr);
+    const Frame &f = frames[frameFor(blk)];
+    if (!f.valid || f.blockAddr != blk)
+        return false;
+    unsigned word = map.wordInBlock(addr);
+    if (!(f.dirtyMask & (1u << word)))
+        return false;
+    value = f.words[word];
+    return true;
+}
+
+std::vector<WriteCacheFlush>
+WriteCache::flushAll()
+{
+    std::vector<WriteCacheFlush> out;
+    for (Frame &f : frames) {
+        if (f.valid) {
+            out.push_back(
+                WriteCacheFlush{f.blockAddr, f.dirtyMask, f.words});
+            f.valid = false;
+            f.dirtyMask = 0;
+        }
+    }
+    return out;
+}
+
+void
+WriteCache::drop(Addr addr)
+{
+    Addr blk = map.blockAddr(addr);
+    Frame &f = frames[frameFor(blk)];
+    if (f.valid && f.blockAddr == blk) {
+        f.valid = false;
+        f.dirtyMask = 0;
+    }
+}
+
+unsigned
+WriteCache::occupancy() const
+{
+    unsigned n = 0;
+    for (const Frame &f : frames)
+        if (f.valid)
+            ++n;
+    return n;
+}
+
+} // namespace cpx

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The write cache of Dahlgren & Stenström [4], used by the CW
+ * extension (§3.3 of the paper).
+ *
+ * A small direct-mapped cache that allocates on writes only and keeps
+ * per-word dirty bits *and values*. Consecutive writes to the same
+ * block combine until the block is victimized or a release flushes
+ * the cache; the dirty words then travel to the home node in a single
+ * message. The simulator is data-carrying: values written here are
+ * invisible to other caches until the flush propagates, exactly as in
+ * the modelled hardware.
+ */
+
+#ifndef CPX_MEM_WRITE_CACHE_HH
+#define CPX_MEM_WRITE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/block.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+/** One combined-write record: a block, its dirty words and values. */
+struct WriteCacheFlush
+{
+    Addr blockAddr = 0;
+    std::uint32_t dirtyMask = 0;
+    std::vector<std::uint32_t> words;  //!< all words; mask says which
+
+    /** Number of dirty words in the record. */
+    unsigned
+    dirtyWords() const
+    {
+        return static_cast<unsigned>(__builtin_popcount(dirtyMask));
+    }
+};
+
+class WriteCache
+{
+  public:
+    /**
+     * @param amap       global address geometry
+     * @param num_blocks capacity in blocks (the paper recommends 4)
+     */
+    WriteCache(const AddressMap &amap, unsigned num_blocks);
+
+    /**
+     * Record a word write.
+     *
+     * @param addr     byte address of the written word
+     * @param value    the written value
+     * @param evicted  out-parameter: set to the victim record when the
+     *                 allocation displaced another block
+     * @return true iff a victim was produced
+     */
+    bool writeWord(Addr addr, std::uint32_t value,
+                   WriteCacheFlush &evicted);
+
+    /** @return true iff the block holding @p addr is present. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Read the buffered value of the word at @p addr.
+     * @param value out-parameter, set on a dirty-word hit
+     * @return true iff the word is dirty in a resident block
+     */
+    bool readWord(Addr addr, std::uint32_t &value) const;
+
+    /**
+     * Remove and return every resident record (release-time flush).
+     * Records are returned in frame order (deterministic).
+     */
+    std::vector<WriteCacheFlush> flushAll();
+
+    /** Drop the record for @p addr (e.g., ownership obtained). */
+    void drop(Addr addr);
+
+    /** Number of resident blocks. */
+    unsigned occupancy() const;
+
+    unsigned capacity() const { return numBlocks; }
+
+    /** Writes that combined into an already-resident block. */
+    const Counter &combinedWrites() const { return combined; }
+    /** Blocks flushed because a newer write displaced them. */
+    const Counter &victimFlushes() const { return victims; }
+
+  private:
+    struct Frame
+    {
+        bool valid = false;
+        Addr blockAddr = 0;
+        std::uint32_t dirtyMask = 0;
+        std::vector<std::uint32_t> words;
+    };
+
+    unsigned frameFor(Addr block_addr) const;
+
+    const AddressMap &map;
+    unsigned numBlocks;
+    std::vector<Frame> frames;
+    Counter combined;
+    Counter victims;
+};
+
+} // namespace cpx
+
+#endif // CPX_MEM_WRITE_CACHE_HH

@@ -1,0 +1,99 @@
+#include "net/mesh.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+MeshNetwork::MeshNetwork(EventQueue &event_queue, unsigned num_nodes,
+                         unsigned link_width_bits)
+    : Network(event_queue), linkBits(link_width_bits)
+{
+    if (num_nodes == 0)
+        fatal("mesh needs at least one node");
+    if (link_width_bits == 0)
+        fatal("mesh link width must be positive");
+
+    // Near-square factorization, wider than tall (4x4 for 16 nodes).
+    cols = static_cast<unsigned>(
+        std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+    rowCount = (num_nodes + cols - 1) / cols;
+
+    linkFreeAt.assign(
+        static_cast<std::size_t>(cols) * rowCount * numDirections, 0);
+}
+
+unsigned
+MeshNetwork::linkIndex(unsigned x, unsigned y, Direction d) const
+{
+    return (y * cols + x) * numDirections + d;
+}
+
+unsigned
+MeshNetwork::hopCount(NodeId src, NodeId dst) const
+{
+    unsigned sx = src % cols, sy = src / cols;
+    unsigned dx = dst % cols, dy = dst / cols;
+    unsigned manhattan =
+        (sx > dx ? sx - dx : dx - sx) + (sy > dy ? sy - dy : dy - sy);
+    return manhattan;
+}
+
+Tick
+MeshNetwork::route(NodeId src, NodeId dst, unsigned total_bytes)
+{
+    // Flit count: payload cut into link-width pieces; at least one.
+    unsigned msg_flits =
+        std::max(1u, (total_bytes * 8 + linkBits - 1) / linkBits);
+
+    if (src == dst) {
+        // Memory-to-cache traffic inside a node never enters the
+        // mesh; the local bus models that cost.
+        return eq.now() + 2;
+    }
+    flits += msg_flits;
+
+    unsigned x = src % cols, y = src / cols;
+    unsigned dx = dst % cols, dy = dst / cols;
+
+    // Head departure time from the previous router.
+    Tick head = eq.now();
+
+    auto traverse = [&](Direction d, unsigned &coord, unsigned target) {
+        while (coord != target) {
+            unsigned idx = linkIndex(x, y, d);
+            Tick start = std::max(head, linkFreeAt[idx]);
+            // The link is busy until the tail flit has crossed.
+            linkFreeAt[idx] = start + msg_flits;
+            // The head reaches the next router after the two hop
+            // pipeline phases.
+            head = start + hopPipelineDepth;
+            if (d == east)
+                ++coord;
+            else if (d == west)
+                --coord;
+            else if (d == south)
+                ++coord;
+            else
+                --coord;
+        }
+    };
+
+    // Dimension-order: X first, then Y.
+    if (dx > x)
+        traverse(east, x, dx);
+    else if (dx < x)
+        traverse(west, x, dx);
+    if (dy > y)
+        traverse(south, y, dy);
+    else if (dy < y)
+        traverse(north, y, dy);
+
+    // Tail arrival: head arrival plus the pipelined flit train.
+    return head + msg_flits;
+}
+
+} // namespace cpx

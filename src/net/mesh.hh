@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Wormhole-routed 2-D mesh with per-link contention (§5.3).
+ *
+ * Geometry: nodes arranged in a near-square mesh (4×4 for 16 nodes),
+ * dimension-order (X then Y) routing, unidirectional links in each
+ * direction. Links are clocked with the processors (100 MHz) and are
+ * `linkWidthBits` wide, so one flit of linkWidthBits crosses a link
+ * per pclock. Each hop has two pipeline phases (routing + transfer),
+ * as in the paper.
+ *
+ * Contention model: virtual cut-through approximation of wormhole
+ * routing. Each unidirectional link keeps a "free at" time; a
+ * message's head must wait for every link on its path to drain
+ * earlier messages, and occupies each link for its full flit count.
+ * Because simulator events execute in time order, eager path
+ * reservation at injection time is consistent and cheap. This
+ * captures the saturation behaviour Table 3 measures; it does not
+ * model flit-level buffer backpressure (documented in DESIGN.md).
+ */
+
+#ifndef CPX_NET_MESH_HH
+#define CPX_NET_MESH_HH
+
+#include <vector>
+
+#include "net/network.hh"
+
+namespace cpx
+{
+
+class MeshNetwork : public Network
+{
+  public:
+    /**
+     * @param event_queue     the system event queue
+     * @param num_nodes       number of nodes (16 in the paper)
+     * @param link_width_bits link width: 64, 32 or 16 in the paper
+     */
+    MeshNetwork(EventQueue &event_queue, unsigned num_nodes,
+                unsigned link_width_bits);
+
+    unsigned columns() const { return cols; }
+    unsigned rows() const { return rowCount; }
+    unsigned linkWidthBits() const { return linkBits; }
+
+    /** Total flits injected (for traffic reports). */
+    std::uint64_t totalFlits() const { return flits.value(); }
+
+    /** Hops traversed by an src→dst message (Manhattan distance). */
+    unsigned hopCount(NodeId src, NodeId dst) const;
+
+  protected:
+    Tick route(NodeId src, NodeId dst, unsigned total_bytes) override;
+
+  private:
+    /// Phases per hop: routing decision + transfer (paper: "two
+    /// phases (routing + transfer)").
+    static constexpr Tick hopPipelineDepth = 2;
+
+    enum Direction { east, west, north, south, numDirections };
+
+    unsigned linkIndex(unsigned x, unsigned y, Direction d) const;
+
+    unsigned cols;
+    unsigned rowCount;
+    unsigned linkBits;
+    std::vector<Tick> linkFreeAt;
+    Counter flits;
+};
+
+} // namespace cpx
+
+#endif // CPX_NET_MESH_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Interconnection network abstraction.
+ *
+ * The paper evaluates two network models: the default contention-free
+ * uniform-latency network (54 pclocks node to node) used in §5.1–5.2,
+ * and wormhole-routed meshes with 64/32/16-bit links used for the
+ * contention study (§5.3, Table 3). Both implement this interface.
+ *
+ * Traffic accounting for Figure 4 also lives here: every message is
+ * charged its header + payload bytes as it enters the network.
+ */
+
+#ifndef CPX_NET_NETWORK_HH
+#define CPX_NET_NETWORK_HH
+
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+/** Fixed per-message header charge (address + type + routing info). */
+constexpr unsigned messageHeaderBytes = 8;
+
+/** Message class, for the per-category traffic breakdown. */
+enum class MsgClass
+{
+    Request,    //!< read/write/upgrade/update requests to a home
+    Data,       //!< block data replies, fetch responses, write-backs
+    Coherence,  //!< invalidations, fetches, acks, migratory probes
+    Update,     //!< forwarded combined-write updates
+    Sync,       //!< lock acquire/release/grant traffic
+    NumClasses,
+};
+
+class Network
+{
+  public:
+    using DeliverFn = std::function<void()>;
+
+    explicit Network(EventQueue &event_queue) : eq(event_queue) {}
+    virtual ~Network() = default;
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /**
+     * Send a message. @p payload_bytes excludes the header, which is
+     * added internally. @p on_deliver runs at the destination when
+     * the tail of the message arrives.
+     */
+    void
+    send(NodeId src, NodeId dst, unsigned payload_bytes,
+         DeliverFn on_deliver, MsgClass klass = MsgClass::Request)
+    {
+        unsigned total = payload_bytes + messageHeaderBytes;
+        if (src != dst) {
+            // Node-local traffic never enters the network; only the
+            // local bus (charged by the sender) sees it.
+            ++messages_;
+            bytes_ += total;
+            classBytes[static_cast<unsigned>(klass)] += total;
+        }
+        Tick arrival = route(src, dst, total);
+        latency.sample(static_cast<double>(arrival - eq.now()));
+        eq.schedule(arrival, std::move(on_deliver));
+    }
+
+    std::uint64_t totalMessages() const { return messages_.value(); }
+    std::uint64_t totalBytes() const { return bytes_.value(); }
+
+    /** Bytes injected for one message class. */
+    std::uint64_t
+    bytesOf(MsgClass klass) const
+    {
+        return classBytes[static_cast<unsigned>(klass)].value();
+    }
+
+    const Accumulator &latencyStats() const { return latency; }
+
+  protected:
+    /**
+     * Model-specific routing: return the absolute arrival tick of a
+     * @p total_bytes message from @p src to @p dst injected now.
+     */
+    virtual Tick route(NodeId src, NodeId dst, unsigned total_bytes) = 0;
+
+    EventQueue &eq;
+
+  private:
+    Counter messages_;
+    Counter bytes_;
+    Counter classBytes[static_cast<unsigned>(MsgClass::NumClasses)];
+    Accumulator latency;
+};
+
+/**
+ * The paper's default network: contention-free, uniform node-to-node
+ * latency (54 pclocks), with node-local contention modelled elsewhere
+ * (bus and memory module).
+ */
+class UniformNetwork : public Network
+{
+  public:
+    UniformNetwork(EventQueue &event_queue, Tick hop_latency = 54,
+                   Tick local_latency = 2)
+        : Network(event_queue), hopLatency(hop_latency),
+          localLatency(local_latency)
+    {}
+
+  protected:
+    Tick
+    route(NodeId src, NodeId dst, unsigned) override
+    {
+        Tick delay = (src == dst) ? localLatency : hopLatency;
+        return eq.now() + delay;
+    }
+
+  private:
+    Tick hopLatency;
+    Tick localLatency;
+};
+
+} // namespace cpx
+
+#endif // CPX_NET_NETWORK_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * One processing node (Figure 1 of the paper): processor, FLC, SLC
+ * (with FLWB/SLWB modelled inside the processor and SLC controller),
+ * directory controller for the locally homed memory, queue-based
+ * lock manager, and the local split-transaction bus.
+ */
+
+#ifndef CPX_NODE_NODE_HH
+#define CPX_NODE_NODE_HH
+
+#include "mem/flc.hh"
+#include "node/processor.hh"
+#include "proto/directory.hh"
+#include "proto/lock_manager.hh"
+#include "proto/slc.hh"
+#include "sim/resource.hh"
+
+namespace cpx
+{
+
+class Node
+{
+  public:
+    Node(NodeId id, Fabric &fabric)
+        : flc(fabric.amap(), fabric.params().flcBytes),
+          slc(id, fabric, flc),
+          dir(id, fabric),
+          locks(id, fabric),
+          proc(id, fabric, slc, flc)
+    {}
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    Flc flc;
+    SlcController slc;
+    DirectoryController dir;
+    LockManager locks;
+    Processor proc;
+    Resource bus;
+};
+
+} // namespace cpx
+
+#endif // CPX_NODE_NODE_HH

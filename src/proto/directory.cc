@@ -1,0 +1,688 @@
+#include "proto/directory.hh"
+
+#include "mem/backing_store.hh"
+#include "proto/messenger.hh"
+#include "proto/slc.hh"
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+DirectoryController::DirectoryController(NodeId node, Fabric &f)
+    : self(node), fabric(f), params(f.params())
+{
+}
+
+// --------------------------------------------------------------------------
+// Request entry points: everything funnels through the per-block queue.
+// --------------------------------------------------------------------------
+
+void
+DirectoryController::onReadReq(Addr block, NodeId from, bool prefetch)
+{
+    ++statReads;
+    enqueue(block, Queued{ReqKind::Read, from, prefetch, 0, {}});
+}
+
+void
+DirectoryController::onWriteReq(Addr block, NodeId from)
+{
+    ++statWrites;
+    enqueue(block, Queued{ReqKind::Write, from, false, 0, {}});
+}
+
+void
+DirectoryController::onUpgradeReq(Addr block, NodeId from)
+{
+    ++statUpgrades;
+    enqueue(block, Queued{ReqKind::Upgrade, from, false, 0, {}});
+}
+
+void
+DirectoryController::onWriteBack(Addr block, NodeId from)
+{
+    ++statWritebacks;
+    enqueue(block, Queued{ReqKind::WriteBack, from, false, 0, {}});
+}
+
+void
+DirectoryController::onUpdateReq(Addr block, NodeId from,
+                                 std::uint32_t dirty_mask,
+                                 std::vector<std::uint32_t> words)
+{
+    enqueue(block, Queued{ReqKind::Update, from, false, dirty_mask,
+                          std::move(words)});
+}
+
+void
+DirectoryController::enqueue(Addr block, Queued req)
+{
+    Entry &e = entries[block];
+    e.queue.push_back(std::move(req));
+    if (!e.inService)
+        startNext(block);
+}
+
+void
+DirectoryController::startNext(Addr block)
+{
+    Entry &e = entries[block];
+    if (e.queue.empty())
+        return;
+    e.inService = true;
+    Queued req = std::move(e.queue.front());
+    e.queue.pop_front();
+    // The directory state lives in main memory: one memory access
+    // before the request can be acted upon.
+    fabric.eq().scheduleIn(params.memAccessLatency,
+                           [this, block, req = std::move(req)] {
+        process(block, req);
+    });
+}
+
+void
+DirectoryController::process(Addr block, const Queued &req)
+{
+    Entry &e = entries[block];
+    CPX_TRACE("Dir",
+              "h%u blk=%llx kind=%d from=%u mod=%d owner=%u pres=%llx",
+              self, (unsigned long long)block, (int)req.kind, req.from,
+              e.modified, e.owner, (unsigned long long)e.presence);
+    switch (req.kind) {
+      case ReqKind::Read:
+        processRead(block, e, req);
+        break;
+      case ReqKind::Write:
+        processWrite(block, e, req);
+        break;
+      case ReqKind::Upgrade:
+        processUpgrade(block, e, req);
+        break;
+      case ReqKind::WriteBack:
+        processWriteBack(block, e, req);
+        break;
+      case ReqKind::Update:
+        processUpdate(block, e, req);
+        break;
+    }
+}
+
+void
+DirectoryController::finish(Addr block, Entry &e)
+{
+    e.inService = false;
+    e.txn.reset();
+    if (!e.queue.empty())
+        startNext(block);
+}
+
+// --------------------------------------------------------------------------
+// Read misses (and prefetches)
+// --------------------------------------------------------------------------
+
+void
+DirectoryController::processRead(Addr block, Entry &e, const Queued &req)
+{
+    const NodeId from = req.from;
+
+    if (!e.modified) {
+        if (e.migratory && params.protocol.migratory) {
+            if (e.presence == 0) {
+                // Migratory block with no cached copy: hand out an
+                // exclusive copy straight away so the expected write
+                // hits DIRTY (this is also how P+M realizes
+                // hardware read-exclusive prefetching).
+                e.modified = true;
+                e.owner = from;
+                e.presence = bit(from);
+                sendReply(block, from, ReplyKind::DataExclusive,
+                          msg_bytes::block(params.blockBytes));
+                finish(block, e);
+                return;
+            }
+            // Readers are accumulating on a clean migratory block:
+            // the access pattern changed — disable the optimization.
+            e.migratory = false;
+            ++statMigDemote;
+        }
+        e.presence |= bit(from);
+        sendReply(block, from, ReplyKind::DataShared,
+                  msg_bytes::block(params.blockBytes));
+        finish(block, e);
+        return;
+    }
+
+    // MODIFIED at some owner.
+    if (e.owner == from) {
+        // The owner lost the line through a replacement whose
+        // write-back is still in flight; re-grant and remember to
+        // drop that stale write-back.
+        ++e.staleWbExpected;
+        sendReply(block, from, ReplyKind::DataExclusive,
+                  msg_bytes::block(params.blockBytes));
+        finish(block, e);
+        return;
+    }
+
+    bool handoff = e.migratory && params.protocol.migratory;
+    e.txn = Txn{.kind = ReqKind::Read,
+                .requester = from,
+                .prefetch = req.prefetch,
+                .fetchInv = handoff};
+    sendFetch(block, e.owner, handoff);
+}
+
+// --------------------------------------------------------------------------
+// Ownership requests
+// --------------------------------------------------------------------------
+
+void
+DirectoryController::detectMigratoryOnWrite(Entry &e, NodeId from)
+{
+    if (!params.protocol.migratory || params.protocol.compUpdate)
+        return;  // CW+M uses the probe heuristic instead (§3.4)
+
+    std::uint64_t others = e.presence & ~bit(from);
+    if (e.migratory) {
+        // An ownership request with several other sharers means the
+        // block stopped behaving migratorily.
+        if (popcount(others) > 1) {
+            e.migratory = false;
+            ++statMigDemote;
+        }
+        return;
+    }
+    // Classic detection [2,12]: write by `from` when exactly one
+    // other copy exists and it belongs to the previous writer.
+    if (e.lastWriter != invalidNode && e.lastWriter != from &&
+        others == bit(e.lastWriter)) {
+        e.migratory = true;
+        ++statMigDetect;
+    }
+}
+
+void
+DirectoryController::processWrite(Addr block, Entry &e, const Queued &req)
+{
+    const NodeId from = req.from;
+
+    if (e.modified) {
+        if (e.owner == from) {
+            // Write-back in flight (see processRead); re-grant.
+            ++e.staleWbExpected;
+            e.lastWriter = from;
+            sendReply(block, from, ReplyKind::DataExclusive,
+                      msg_bytes::block(params.blockBytes));
+            finish(block, e);
+            return;
+        }
+        e.txn = Txn{.kind = ReqKind::Write,
+                    .requester = from,
+                    .fetchInv = true};
+        sendFetch(block, e.owner, true);
+        return;
+    }
+
+    detectMigratoryOnWrite(e, from);
+
+    std::uint64_t others = e.presence & ~bit(from);
+    if (others == 0) {
+        e.modified = true;
+        e.owner = from;
+        e.presence = bit(from);
+        e.lastWriter = from;
+        sendReply(block, from, ReplyKind::DataExclusive,
+                  msg_bytes::block(params.blockBytes));
+        finish(block, e);
+        return;
+    }
+
+    e.txn = Txn{.kind = ReqKind::Write,
+                .requester = from,
+                .pendingAcks = popcount(others)};
+    for (NodeId j = 0; j < params.numProcs; ++j)
+        if (others & bit(j))
+            sendInvalidate(block, j);
+}
+
+void
+DirectoryController::processUpgrade(Addr block, Entry &e,
+                                    const Queued &req)
+{
+    const NodeId from = req.from;
+
+    if (e.modified) {
+        if (e.owner == from) {
+            // Redundant upgrade (should not normally happen).
+            sendReply(block, from, ReplyKind::UpgradeAck,
+                      msg_bytes::control);
+            finish(block, e);
+            return;
+        }
+        // The requester's SHARED copy was invalidated by an earlier
+        // transaction; it now needs data as well as ownership.
+        e.txn = Txn{.kind = ReqKind::Write,
+                    .requester = from,
+                    .fetchInv = true};
+        sendFetch(block, e.owner, true);
+        return;
+    }
+
+    if (!(e.presence & bit(from))) {
+        // Racing invalidation pruned the requester: serve as a
+        // write miss so data travels with the ownership grant.
+        processWrite(block, e,
+                     Queued{ReqKind::Write, from, false, 0, {}});
+        return;
+    }
+
+    detectMigratoryOnWrite(e, from);
+
+    std::uint64_t others = e.presence & ~bit(from);
+    if (others == 0) {
+        e.modified = true;
+        e.owner = from;
+        e.presence = bit(from);
+        e.lastWriter = from;
+        sendReply(block, from, ReplyKind::UpgradeAck,
+                  msg_bytes::control);
+        finish(block, e);
+        return;
+    }
+
+    e.txn = Txn{.kind = ReqKind::Upgrade,
+                .requester = from,
+                .pendingAcks = popcount(others)};
+    for (NodeId j = 0; j < params.numProcs; ++j)
+        if (others & bit(j))
+            sendInvalidate(block, j);
+}
+
+void
+DirectoryController::onInvAck(Addr block, NodeId from)
+{
+    Entry &e = entries[block];
+    if (!e.txn)
+        panic("stray invalidation ack for block %llx from %u",
+              static_cast<unsigned long long>(block), from);
+    e.presence &= ~bit(from);
+    if (--e.txn->pendingAcks == 0) {
+        // Final ack: one memory access to update the directory state
+        // before the ownership grant leaves.
+        fabric.eq().scheduleIn(params.memAccessLatency, [this, block] {
+            completeOwnership(block, entries[block]);
+        });
+    }
+}
+
+void
+DirectoryController::completeOwnership(Addr block, Entry &e)
+{
+    Txn &txn = *e.txn;
+    e.modified = true;
+    e.owner = txn.requester;
+    e.presence = bit(txn.requester);
+    e.lastWriter = txn.requester;
+    if (txn.kind == ReqKind::Upgrade) {
+        sendReply(block, txn.requester, ReplyKind::UpgradeAck,
+                  msg_bytes::control);
+    } else {
+        sendReply(block, txn.requester, ReplyKind::DataExclusive,
+                  msg_bytes::block(params.blockBytes));
+    }
+    finish(block, e);
+}
+
+// --------------------------------------------------------------------------
+// Fetch responses (MODIFIED block recalled from its owner)
+// --------------------------------------------------------------------------
+
+void
+DirectoryController::onFetchResp(Addr block, NodeId from,
+                                 bool did_modify, bool was_present)
+{
+    fabric.eq().scheduleIn(params.memAccessLatency,
+                           [this, block, from, did_modify,
+                            was_present] {
+        Entry &e = entries[block];
+        if (!e.txn)
+            panic("stray fetch response for block %llx",
+                  static_cast<unsigned long long>(block));
+        Txn &txn = *e.txn;
+        const NodeId req = txn.requester;
+
+        switch (txn.kind) {
+          case ReqKind::Read:
+            if (txn.fetchInv) {
+                // Migratory handoff path. If the previous keeper
+                // never wrote the block, the pattern is not
+                // migratory after all: demote.
+                if (was_present && !did_modify && e.migratory) {
+                    e.migratory = false;
+                    ++statMigDemote;
+                }
+                if (e.migratory && params.protocol.migratory) {
+                    e.owner = req;
+                    e.presence = bit(req);
+                    // stays modified: exclusive handoff
+                    sendReply(block, req, ReplyKind::DataExclusive,
+                              msg_bytes::block(params.blockBytes));
+                } else {
+                    e.modified = false;
+                    e.owner = invalidNode;
+                    e.presence = bit(req);
+                    sendReply(block, req, ReplyKind::DataShared,
+                              msg_bytes::block(params.blockBytes));
+                }
+            } else {
+                // Ordinary downgrade: previous owner keeps a SHARED
+                // copy (unless its line was already gone).
+                e.modified = false;
+                NodeId prev_owner = e.owner;
+                e.owner = invalidNode;
+                e.presence = bit(req);
+                if (was_present)
+                    e.presence |= bit(prev_owner);
+                sendReply(block, req, ReplyKind::DataShared,
+                          msg_bytes::block(params.blockBytes));
+            }
+            break;
+
+          case ReqKind::Write:
+          case ReqKind::Upgrade:
+            e.modified = true;
+            e.owner = req;
+            e.presence = bit(req);
+            e.lastWriter = req;
+            sendReply(block, req, ReplyKind::DataExclusive,
+                      msg_bytes::block(params.blockBytes));
+            break;
+
+          case ReqKind::Update:
+            // CW flush to a block another cache held exclusively
+            // (a migratory block under CW+M): the keeper was
+            // invalidated and its data written back; now apply the
+            // combined write on top.
+            applyUpdateToMemory(block, txn.dirtyMask, txn.words);
+            e.modified = false;
+            e.owner = invalidNode;
+            e.presence = 0;
+            e.lastUpdater = req;
+            sendReply(block, req, ReplyKind::UpdateDone,
+                      msg_bytes::control);
+            break;
+
+          default:
+            panic("fetch response in unexpected transaction kind");
+        }
+        (void)from;
+        finish(block, e);
+    });
+}
+
+// --------------------------------------------------------------------------
+// Write-backs
+// --------------------------------------------------------------------------
+
+void
+DirectoryController::processWriteBack(Addr block, Entry &e,
+                                      const Queued &req)
+{
+    if (e.modified && e.owner == req.from) {
+        if (e.staleWbExpected > 0) {
+            // This write-back was overtaken by a re-fetch from the
+            // same node; the newer exclusive copy wins.
+            --e.staleWbExpected;
+        } else {
+            e.modified = false;
+            e.owner = invalidNode;
+            e.presence = 0;
+        }
+    }
+    // Otherwise the write-back is stale (the block moved on while
+    // the message was in flight); memory is functionally current.
+    finish(block, e);
+}
+
+// --------------------------------------------------------------------------
+// CW: combined-write updates
+// --------------------------------------------------------------------------
+
+void
+DirectoryController::applyUpdateToMemory(
+    Addr block, std::uint32_t mask,
+    const std::vector<std::uint32_t> &words)
+{
+    BackingStore &store = fabric.store();
+    for (unsigned w = 0; w < words.size(); ++w)
+        if (mask & (1u << w))
+            store.write32(block + Addr(w) * wordBytes, words[w]);
+}
+
+void
+DirectoryController::processUpdate(Addr block, Entry &e,
+                                   const Queued &req)
+{
+    const NodeId from = req.from;
+
+    if (e.modified) {
+        if (e.owner == from) {
+            // The writer holds the block exclusively (migratory
+            // grant): memory stays stale until write-back, but the
+            // owner's cache is authoritative — nothing to propagate.
+            e.lastUpdater = from;
+            sendReply(block, from, ReplyKind::UpdateDone,
+                      msg_bytes::control);
+            finish(block, e);
+            return;
+        }
+        // Another cache holds it exclusively: recall it, then the
+        // update is absorbed by memory.
+        e.txn = Txn{.kind = ReqKind::Update,
+                    .requester = from,
+                    .fetchInv = true,
+                    .dirtyMask = req.dirtyMask,
+                    .words = req.words};
+        sendFetch(block, e.owner, true);
+        return;
+    }
+
+    applyUpdateToMemory(block, req.dirtyMask, req.words);
+
+    // §3.4 heuristic: consecutive updates by different processors
+    // with multiple cached copies trigger a migratory probe.
+    bool may_probe = params.protocol.migratory &&
+                     params.protocol.compUpdate && !e.migratory &&
+                     popcount(e.presence) > 1 &&
+                     e.lastUpdater != invalidNode &&
+                     e.lastUpdater != from;
+    if (may_probe) {
+        ++statProbes;
+        e.txn = Txn{.kind = ReqKind::Update,
+                    .requester = from,
+                    .pendingAcks = popcount(e.presence),
+                    .dirtyMask = req.dirtyMask,
+                    .words = req.words,
+                    .probing = true};
+        for (NodeId j = 0; j < params.numProcs; ++j)
+            if (e.presence & bit(j))
+                sendMigProbe(block, j);
+        return;
+    }
+
+    std::uint64_t targets = e.presence & ~bit(from);
+    if (targets == 0) {
+        e.lastUpdater = from;
+        sendReply(block, from, ReplyKind::UpdateDone,
+                  msg_bytes::control);
+        finish(block, e);
+        return;
+    }
+
+    e.txn = Txn{.kind = ReqKind::Update,
+                .requester = from,
+                .pendingAcks = popcount(targets),
+                .dirtyMask = req.dirtyMask,
+                .words = req.words};
+    forwardUpdate(block, e, targets);
+}
+
+void
+DirectoryController::forwardUpdate(Addr block, Entry &e,
+                                   std::uint64_t targets)
+{
+    for (NodeId j = 0; j < params.numProcs; ++j) {
+        if (targets & bit(j)) {
+            ++statUpdates;
+            sendUpdateMsg(block, j, e.txn->dirtyMask, e.txn->words,
+                          e.txn->requester);
+        }
+    }
+}
+
+void
+DirectoryController::onUpdateAck(Addr block, NodeId from,
+                                 bool invalidated)
+{
+    Entry &e = entries[block];
+    if (!e.txn)
+        panic("stray update ack for block %llx",
+              static_cast<unsigned long long>(block));
+    if (invalidated)
+        e.presence &= ~bit(from);
+    if (--e.txn->pendingAcks == 0) {
+        fabric.eq().scheduleIn(params.memAccessLatency, [this, block] {
+            Entry &entry = entries[block];
+            entry.lastUpdater = entry.txn->requester;
+            sendReply(block, entry.txn->requester,
+                      ReplyKind::UpdateDone, msg_bytes::control);
+            finish(block, entry);
+        });
+    }
+}
+
+void
+DirectoryController::onMigProbeResp(Addr block, NodeId from,
+                                    bool gave_up)
+{
+    Entry &e = entries[block];
+    if (!e.txn || !e.txn->probing)
+        panic("stray migratory probe response for block %llx",
+              static_cast<unsigned long long>(block));
+    Txn &txn = *e.txn;
+    if (gave_up) {
+        e.presence &= ~bit(from);
+    } else {
+        txn.allGaveUp = false;
+        txn.keepers |= bit(from);
+    }
+    if (--txn.pendingAcks > 0)
+        return;
+
+    // All probe responses are in.
+    if (txn.allGaveUp && params.protocol.migratory) {
+        e.migratory = true;
+        ++statMigDetect;
+    }
+    txn.probing = false;
+    std::uint64_t targets = txn.keepers & ~bit(txn.requester);
+    if (targets == 0) {
+        e.lastUpdater = txn.requester;
+        sendReply(block, txn.requester, ReplyKind::UpdateDone,
+                  msg_bytes::control);
+        finish(block, e);
+        return;
+    }
+    txn.pendingAcks = popcount(targets);
+    forwardUpdate(block, e, targets);
+}
+
+// --------------------------------------------------------------------------
+// Message emission
+// --------------------------------------------------------------------------
+
+void
+DirectoryController::sendReply(Addr block, NodeId to, ReplyKind kind,
+                               unsigned payload)
+{
+    MsgClass klass = payload > 0 ? MsgClass::Data
+                                 : MsgClass::Coherence;
+    sendProtocolMessage(fabric, self, to, payload,
+                        [this, block, to, kind] {
+        fabric.slc(to).onReply(block, kind);
+    }, klass);
+}
+
+void
+DirectoryController::sendInvalidate(Addr block, NodeId to)
+{
+    ++statInvals;
+    sendProtocolMessage(fabric, self, to, msg_bytes::control,
+                        [this, block, to] {
+        fabric.slc(to).onInvalidate(block, self);
+    }, MsgClass::Coherence);
+}
+
+void
+DirectoryController::sendFetch(Addr block, NodeId to, bool invalidate)
+{
+    ++statFetches;
+    sendProtocolMessage(fabric, self, to, msg_bytes::control,
+                        [this, block, to, invalidate] {
+        fabric.slc(to).onFetch(block, self, invalidate);
+    }, MsgClass::Coherence);
+}
+
+void
+DirectoryController::sendUpdateMsg(Addr block, NodeId to,
+                                   std::uint32_t mask,
+                                   const std::vector<std::uint32_t> &words,
+                                   NodeId writer)
+{
+    unsigned dirty = static_cast<unsigned>(__builtin_popcount(mask));
+    sendProtocolMessage(fabric, self, to, msg_bytes::update(dirty),
+                        [this, block, to, mask, words, writer] {
+        fabric.slc(to).onUpdate(block, self, mask, words, writer);
+    }, MsgClass::Update);
+}
+
+void
+DirectoryController::sendMigProbe(Addr block, NodeId to)
+{
+    sendProtocolMessage(fabric, self, to, msg_bytes::control,
+                        [this, block, to] {
+        fabric.slc(to).onMigProbe(block, self);
+    }, MsgClass::Coherence);
+}
+
+// --------------------------------------------------------------------------
+// Inspection
+// --------------------------------------------------------------------------
+
+DirectoryController::Snapshot
+DirectoryController::inspect(Addr block) const
+{
+    Snapshot s;
+    auto it = entries.find(block);
+    if (it == entries.end())
+        return s;
+    const Entry &e = it->second;
+    s.modified = e.modified;
+    s.owner = e.owner;
+    s.presence = e.presence;
+    s.migratory = e.migratory;
+    s.inService = e.inService;
+    return s;
+}
+
+std::size_t
+DirectoryController::blocksInService() const
+{
+    std::size_t n = 0;
+    for (const auto &[addr, e] : entries)
+        if (e.inService)
+            ++n;
+    return n;
+}
+
+} // namespace cpx

@@ -1,0 +1,83 @@
+#include "proto/lock_manager.hh"
+
+#include "proto/messages.hh"
+#include "proto/messenger.hh"
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+LockManager::LockManager(NodeId node, Fabric &f) : self(node), fabric(f)
+{
+}
+
+void
+LockManager::onAcquire(Addr lock_addr, NodeId from)
+{
+    ++acquireCount;
+    // The lock state lives in memory at the home node: charge one
+    // memory access before acting.
+    fabric.eq().scheduleIn(fabric.params().memAccessLatency,
+                           [this, lock_addr, from] {
+        LockState &ls = lockStates[lock_addr];
+        if (!ls.held) {
+            ls.held = true;
+            ls.holder = from;
+            grant(lock_addr, from);
+        } else {
+            ++queuedCount;
+            ls.waiters.push_back(from);
+        }
+    });
+}
+
+void
+LockManager::onRelease(Addr lock_addr, NodeId from)
+{
+    ++releaseCount;
+    fabric.eq().scheduleIn(fabric.params().memAccessLatency,
+                           [this, lock_addr, from] {
+        LockState &ls = lockStates[lock_addr];
+        if (!ls.held || ls.holder != from)
+            panic("release of lock %llx by non-holder node %u",
+                  static_cast<unsigned long long>(lock_addr), from);
+
+        // Acknowledge the releaser (the SC processor stalls on this).
+        sendProtocolMessage(fabric, self, from, msg_bytes::control,
+                            [this, lock_addr, from] {
+            fabric.proc(from).onReleaseAck(lock_addr);
+        }, MsgClass::Sync);
+
+        if (ls.waiters.empty()) {
+            ls.held = false;
+            ls.holder = invalidNode;
+        } else {
+            // Queue-based handoff: grant directly to the next waiter.
+            NodeId next = ls.waiters.front();
+            ls.waiters.pop_front();
+            ls.holder = next;
+            grant(lock_addr, next);
+        }
+    });
+}
+
+void
+LockManager::grant(Addr lock_addr, NodeId to)
+{
+    sendProtocolMessage(fabric, self, to, msg_bytes::control,
+                        [this, lock_addr, to] {
+        fabric.proc(to).onLockGrant(lock_addr);
+    }, MsgClass::Sync);
+}
+
+std::size_t
+LockManager::heldLocks() const
+{
+    std::size_t n = 0;
+    for (const auto &[addr, ls] : lockStates)
+        if (ls.held)
+            ++n;
+    return n;
+}
+
+} // namespace cpx

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Queue-based lock manager at memory (§4).
+ *
+ * The paper models DASH-style queue-based locks: one lock variable
+ * per memory block, managed at the block's home node. An acquire to a
+ * held lock is queued at the home; a release hands the lock directly
+ * to the next waiter with a single grant message, so contended locks
+ * cost one network traversal per handoff instead of invalidation
+ * storms. Synchronization accesses bypass the caches.
+ */
+
+#ifndef CPX_PROTO_LOCK_MANAGER_HH
+#define CPX_PROTO_LOCK_MANAGER_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "proto/fabric.hh"
+#include "sim/stats.hh"
+
+namespace cpx
+{
+
+class LockManager
+{
+  public:
+    LockManager(NodeId node, Fabric &fabric);
+
+    /**
+     * Network-delivered acquire request from @p from.
+     * Replies with a grant to the requesting processor, now or when
+     * the lock is released to it.
+     */
+    void onAcquire(Addr lock_addr, NodeId from);
+
+    /**
+     * Network-delivered release from @p from. Grants to the next
+     * queued waiter if any, and acknowledges the releaser (used by
+     * the SC implementation, which stalls on the ack).
+     */
+    void onRelease(Addr lock_addr, NodeId from);
+
+    // --- statistics -------------------------------------------------------
+    std::uint64_t acquires() const { return acquireCount.value(); }
+    std::uint64_t queuedAcquires() const { return queuedCount.value(); }
+    std::uint64_t releases() const { return releaseCount.value(); }
+
+    /** Locks currently held (for invariant checks in tests). */
+    std::size_t heldLocks() const;
+
+  private:
+    struct LockState
+    {
+        bool held = false;
+        NodeId holder = invalidNode;
+        std::deque<NodeId> waiters;
+    };
+
+    void grant(Addr lock_addr, NodeId to);
+
+    NodeId self;
+    Fabric &fabric;
+    std::unordered_map<Addr, LockState> lockStates;
+
+    Counter acquireCount;
+    Counter queuedCount;
+    Counter releaseCount;
+};
+
+} // namespace cpx
+
+#endif // CPX_PROTO_LOCK_MANAGER_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Message vocabulary and size model of the coherence protocol.
+ *
+ * Messages are delivered as direct method calls on the destination
+ * agent (the network schedules the call at the arrival tick), so no
+ * wire format exists; this header centralizes the *size accounting*
+ * that Figure 4 (network traffic) and Table 3 (mesh contention)
+ * depend on, plus small shared enums.
+ */
+
+#ifndef CPX_PROTO_MESSAGES_HH
+#define CPX_PROTO_MESSAGES_HH
+
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+/** What a directory reply to a cache request carries. */
+enum class ReplyKind
+{
+    DataShared,     //!< block data, SHARED permission
+    DataExclusive,  //!< block data, exclusive (DIRTY) permission
+    UpgradeAck,     //!< ownership only, requester keeps its data
+    UpdateDone,     //!< a write-cache flush has been fully propagated
+};
+
+/** Payload size model, excluding the fixed 8-byte message header. */
+namespace msg_bytes
+{
+
+/** Requests, invalidations, acks, probes, grants: header only. */
+constexpr unsigned control = 0;
+
+/** A full cache block. */
+constexpr unsigned
+block(unsigned block_bytes)
+{
+    return block_bytes;
+}
+
+/**
+ * A combined-write update: the dirty words plus a 2-byte word mask
+ * (the write cache sends only modified words, §3.3).
+ */
+constexpr unsigned
+update(unsigned dirty_words)
+{
+    return dirty_words * wordBytes + 2;
+}
+
+} // namespace msg_bytes
+
+} // namespace cpx
+
+#endif // CPX_PROTO_MESSAGES_HH

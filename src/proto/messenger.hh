@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Node-to-node message transmission with local resource charges.
+ *
+ * Every protocol message crosses the sender's local bus, the network,
+ * and the receiver's local bus before its handler runs. Messages
+ * between agents on the same node skip the network's hop latency but
+ * still pay the bus (the network model charges a small local delay
+ * and does not count local traffic in its byte totals).
+ */
+
+#ifndef CPX_PROTO_MESSENGER_HH
+#define CPX_PROTO_MESSENGER_HH
+
+#include <utility>
+
+#include "net/network.hh"
+#include "proto/fabric.hh"
+
+namespace cpx
+{
+
+/**
+ * Send a protocol message.
+ *
+ * @param fabric  system wiring
+ * @param src     sending node
+ * @param dst     receiving node
+ * @param payload payload bytes (header added by the network)
+ * @param at_dst  handler to run when the message has crossed the
+ *                receiver's bus
+ */
+inline void
+sendProtocolMessage(Fabric &fabric, NodeId src, NodeId dst,
+                    unsigned payload, EventQueue::Callback at_dst,
+                    MsgClass klass = MsgClass::Request)
+{
+    EventQueue &eq = fabric.eq();
+    const Tick bus_xfer = fabric.params().busTransferLatency;
+
+    Tick start = fabric.bus(src).reserve(eq.now(), bus_xfer);
+    eq.schedule(start + bus_xfer,
+                [&fabric, src, dst, payload, bus_xfer, klass,
+                 cb = std::move(at_dst)]() mutable {
+        fabric.net().send(src, dst, payload,
+                          [&fabric, dst, bus_xfer,
+                           cb = std::move(cb)]() mutable {
+            Tick s = fabric.bus(dst).reserve(fabric.eq().now(),
+                                             bus_xfer);
+            fabric.eq().schedule(s + bus_xfer, std::move(cb));
+        }, klass);
+    });
+}
+
+} // namespace cpx
+
+#endif // CPX_PROTO_MESSENGER_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Machine configuration: the paper's baseline parameters (§2, §4)
+ * plus the knobs of the three protocol extensions (§3).
+ *
+ * Defaults reproduce the paper's BASIC architecture under release
+ * consistency with the contention-free uniform network.
+ */
+
+#ifndef CPX_PROTO_PARAMS_HH
+#define CPX_PROTO_PARAMS_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+/** Memory consistency model implemented by the node (§5.1 / §5.2). */
+enum class Consistency
+{
+    SequentialConsistency,
+    ReleaseConsistency,
+};
+
+/** Which protocol extensions are enabled on top of BASIC. */
+struct ProtocolConfig
+{
+    bool prefetch = false;    //!< P: adaptive sequential prefetching
+    bool migratory = false;   //!< M: migratory sharing optimization
+    bool compUpdate = false;  //!< CW: competitive update + write cache
+
+    /** The paper's name for this combination ("BASIC", "P+CW", ...). */
+    std::string
+    name() const
+    {
+        std::string s;
+        auto append = [&s](const char *part) {
+            if (!s.empty())
+                s += "+";
+            s += part;
+        };
+        if (prefetch)
+            append("P");
+        if (compUpdate)
+            append("CW");
+        if (migratory)
+            append("M");
+        return s.empty() ? "BASIC" : s;
+    }
+
+    static ProtocolConfig basic() { return {}; }
+    static ProtocolConfig p() { return {true, false, false}; }
+    static ProtocolConfig m() { return {false, true, false}; }
+    static ProtocolConfig cw() { return {false, false, true}; }
+    static ProtocolConfig pcw() { return {true, false, true}; }
+    static ProtocolConfig pm() { return {true, true, false}; }
+    static ProtocolConfig cwm() { return {false, true, true}; }
+    static ProtocolConfig pcwm() { return {true, true, true}; }
+};
+
+/** Network model selection. */
+enum class NetworkKind
+{
+    Uniform,  //!< contention-free, fixed node-to-node latency
+    Mesh,     //!< wormhole 2-D mesh with per-link contention (§5.3)
+};
+
+/**
+ * Complete machine description. All latencies in pclocks
+ * (1 pclock = 10 ns at the paper's 100 MHz).
+ */
+struct MachineParams
+{
+    unsigned numProcs = 16;
+    unsigned blockBytes = 32;
+    unsigned pageBytes = 4096;
+
+    // --- first-level cache & write buffer -----------------------------
+    unsigned flcBytes = 4096;      //!< 4 KB direct-mapped write-through
+    Tick flcHitLatency = 1;        //!< also the busy cost of any access
+    Tick flcFillLatency = 3;
+    unsigned flwbEntries = 8;      //!< paper: 8 under RC, 1 under SC
+
+    // --- second-level cache & write buffer ----------------------------
+    unsigned slcBytes = 0;         //!< 0 = infinite (paper default)
+    Tick slcAccessLatency = 6;     //!< 30 ns static RAM
+    unsigned slwbEntries = 16;     //!< paper: 16 under RC, 1 under SC
+
+    // --- node resources ------------------------------------------------
+    Tick busTransferLatency = 3;   //!< one 33 MHz bus cycle, 256-bit wide
+    Tick memAccessLatency = 9;     //!< 90 ns interleaved DRAM + directory
+
+    // --- network ---------------------------------------------------------
+    NetworkKind networkKind = NetworkKind::Uniform;
+    Tick uniformHopLatency = 54;   //!< paper's node-to-node latency
+    unsigned meshLinkBits = 64;    //!< 64 / 32 / 16 in Table 3
+
+    // --- consistency -----------------------------------------------------
+    Consistency consistency = Consistency::ReleaseConsistency;
+
+    // --- protocol extensions ----------------------------------------------
+    ProtocolConfig protocol;
+
+    // P: adaptive sequential prefetching (§3.1, [3])
+    unsigned prefetchMaxDegree = 16;       //!< top of the degree ladder
+    unsigned prefetchInitialDegree = 1;
+    bool prefetchAdaptive = true;          //!< false = fixed degree
+    double prefetchHighMark = 0.75;        //!< raise degree above this
+    double prefetchLowMark = 0.40;         //!< lower degree below this
+
+    // CW: competitive update (§3.3, [4,10])
+    unsigned competitiveThreshold = 1;     //!< updates before local inv
+    unsigned writeCacheBlocks = 4;         //!< paper's recommendation
+    /**
+     * With the write cache disabled, CW degenerates to the plain
+     * competitive-update protocol of [10]: every write to a
+     * non-exclusive block sends its own word update immediately.
+     * [10] recommends a competitive threshold of four for this
+     * variant (set competitiveThreshold accordingly).
+     */
+    bool writeCacheEnabled = true;
+
+    /**
+     * Apply the paper's consistency-dependent buffer sizing: a single
+     * entry suffices under SC for BASIC and M, while P needs SLWB
+     * room for pending prefetches (§5.2).
+     */
+    void
+    applyConsistencyDefaults()
+    {
+        if (consistency == Consistency::SequentialConsistency) {
+            flwbEntries = 1;
+            slwbEntries = protocol.prefetch ? 16 : 1;
+        }
+    }
+};
+
+} // namespace cpx
+
+#endif // CPX_PROTO_PARAMS_HH

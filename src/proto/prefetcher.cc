@@ -1,0 +1,85 @@
+#include "proto/prefetcher.hh"
+
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+constexpr std::array<unsigned, 6> Prefetcher::fullLadder;
+
+Prefetcher::Prefetcher(const MachineParams &p) : params(p)
+{
+    // Clip the degree ladder at the configured maximum.
+    ladderSize = 0;
+    for (unsigned d : fullLadder) {
+        if (d <= params.prefetchMaxDegree)
+            ladder[ladderSize++] = d;
+    }
+    if (ladderSize == 0)
+        fatal("prefetchMaxDegree too small");
+
+    // Start at (or just below) the configured initial degree.
+    ladderIdx = 0;
+    for (unsigned i = 0; i < ladderSize; ++i)
+        if (ladder[i] <= params.prefetchInitialDegree)
+            ladderIdx = i;
+}
+
+void
+Prefetcher::notifyIssued()
+{
+    ++issuedTotal;
+    if (++prefetchCtr == counterModulo) {
+        prefetchCtr = 0;
+        adapt();
+    }
+}
+
+void
+Prefetcher::notifyUseful()
+{
+    ++usefulTotal;
+    if (usefulCtr < counterModulo)
+        ++usefulCtr;
+}
+
+void
+Prefetcher::notifyDemandMiss(Addr, bool prev_missed)
+{
+    if (degree() != 0 || !params.prefetchAdaptive)
+        return;
+
+    // Degree zero: measure how useful degree-one prefetching would
+    // have been, and re-enable when the evidence is strong.
+    if (prev_missed)
+        ++lookaheadCtr;
+    if (++zeroMissCtr == counterModulo) {
+        double fraction =
+            static_cast<double>(lookaheadCtr) / counterModulo;
+        if (fraction >= params.prefetchHighMark) {
+            ++ladderIdx;  // 0 -> 1
+            ++raises;
+        }
+        zeroMissCtr = 0;
+        lookaheadCtr = 0;
+    }
+}
+
+void
+Prefetcher::adapt()
+{
+    if (!params.prefetchAdaptive)
+        return;  // fixed-degree mode ([3]'s non-adaptive baseline)
+    double fraction = static_cast<double>(usefulCtr) / counterModulo;
+    if (fraction >= params.prefetchHighMark &&
+        ladderIdx + 1 < ladderSize) {
+        ++ladderIdx;
+        ++raises;
+    } else if (fraction < params.prefetchLowMark && ladderIdx > 0) {
+        --ladderIdx;
+        ++drops;
+    }
+    usefulCtr = 0;
+}
+
+} // namespace cpx

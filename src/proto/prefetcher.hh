@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Adaptive sequential prefetch engine (§3.1 of the paper, scheme of
+ * Dahlgren, Dubois & Stenström [3]).
+ *
+ * On each SLC read miss to block b the controller asks the engine for
+ * the current degree K and issues non-binding prefetches for
+ * b+1 .. b+K. The engine adapts K by measuring prefetching
+ * effectiveness with three modulo-16 counters:
+ *
+ *  - prefetchCtr: prefetched blocks brought into the cache;
+ *  - usefulCtr:   prefetched blocks referenced by the processor
+ *                 before leaving the cache;
+ *  - lookaheadCtr: when K == 0, read misses whose predecessor block
+ *                 also missed recently — prefetches that would have
+ *                 been useful — used to turn prefetching back on.
+ *
+ * When prefetchCtr wraps, the useful fraction is compared with the
+ * high/low marks and K moves along the ladder {0,1,2,4,8,16}.
+ * The two per-line bits ("prefetched, not yet referenced" and the
+ * zero-degree detection tag) live in the SLC line; the controller
+ * reports events through the notify* methods.
+ */
+
+#ifndef CPX_PROTO_PREFETCHER_HH
+#define CPX_PROTO_PREFETCHER_HH
+
+#include <array>
+
+#include "proto/params.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+class Prefetcher
+{
+  public:
+    explicit Prefetcher(const MachineParams &params);
+
+    /** Current degree of prefetching K. */
+    unsigned degree() const { return ladder[ladderIdx]; }
+
+    /** A prefetch for some block was issued to the memory system. */
+    void notifyIssued();
+
+    /**
+     * A prefetched block was referenced by the processor before
+     * being invalidated or evicted (its "prefetched" line bit was
+     * still set), or a demand read merged with an in-flight prefetch.
+     */
+    void notifyUseful();
+
+    /**
+     * A demand read miss occurred (after any in-flight merge check).
+     * @param block_addr   block-aligned miss address
+     * @param prev_missed  true iff the immediately preceding block
+     *                     carries the zero-degree detection tag
+     */
+    void notifyDemandMiss(Addr block_addr, bool prev_missed);
+
+    // --- statistics ------------------------------------------------------
+    std::uint64_t issued() const { return issuedTotal.value(); }
+    std::uint64_t useful() const { return usefulTotal.value(); }
+    std::uint64_t degreeRaises() const { return raises.value(); }
+    std::uint64_t degreeDrops() const { return drops.value(); }
+
+  private:
+    void adapt();
+
+    static constexpr unsigned counterModulo = 16;
+    static constexpr std::array<unsigned, 6> fullLadder{0, 1, 2, 4,
+                                                        8, 16};
+
+    const MachineParams &params;
+    std::array<unsigned, 6> ladder;  //!< clipped at prefetchMaxDegree
+    unsigned ladderSize;
+    unsigned ladderIdx;
+
+    unsigned prefetchCtr = 0;   //!< modulo-16
+    unsigned usefulCtr = 0;     //!< modulo-16 window companion
+    unsigned lookaheadCtr = 0;  //!< zero-degree usefulness
+    unsigned zeroMissCtr = 0;   //!< zero-degree window
+
+    Counter issuedTotal;
+    Counter usefulTotal;
+    Counter raises;
+    Counter drops;
+};
+
+} // namespace cpx
+
+#endif // CPX_PROTO_PREFETCHER_HH

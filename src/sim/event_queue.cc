@@ -1,0 +1,52 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+EventQueue::EventQueue()
+{
+    Logger::setTickSource(&now_);
+}
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    heap.push(Entry{when, nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which
+    // is safe because pop() follows immediately.
+    Entry entry = std::move(const_cast<Entry &>(heap.top()));
+    heap.pop();
+    now_ = entry.when;
+    ++numExecuted;
+    entry.cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!heap.empty() && heap.top().when <= limit) {
+        if (!step())
+            break;
+    }
+    if (now_ < limit && heap.empty())
+        return now_;
+    if (!heap.empty())
+        now_ = limit;
+    return now_;
+}
+
+} // namespace cpx

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives a whole simulated machine. Events are
+ * arbitrary callbacks scheduled at absolute ticks; ties are broken by
+ * insertion order so that simulations are fully deterministic.
+ */
+
+#ifndef CPX_SIM_EVENT_QUEUE_HH
+#define CPX_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+/**
+ * A deterministic discrete-event scheduler.
+ *
+ * All components of one simulated system share one queue. The queue
+ * is intentionally not thread-safe: the whole simulator is
+ * single-threaded (determinism is a design requirement, see
+ * DESIGN.md §8).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue();
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now()
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback cb) {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** @return true iff no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap.size(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /**
+     * Run events until the queue drains or @p limit ticks have been
+     * simulated.
+     * @return the final simulated time.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /**
+     * Execute exactly one event (the earliest).
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;  //!< insertion order, breaks ties
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Tick now_ = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace cpx
+
+#endif // CPX_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,107 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+
+namespace cpx
+{
+
+bool Logger::allEnabled = false;
+std::unordered_set<std::string> Logger::enabledTags;
+const std::uint64_t *Logger::tickSource = nullptr;
+
+void
+Logger::enable(const std::string &tag)
+{
+    enabledTags.insert(tag);
+}
+
+void
+Logger::enableAll()
+{
+    allEnabled = true;
+}
+
+void
+Logger::disableAll()
+{
+    allEnabled = false;
+    enabledTags.clear();
+}
+
+bool
+Logger::enabled(const std::string &tag)
+{
+    return allEnabled || enabledTags.count(tag) != 0;
+}
+
+void
+Logger::setTickSource(const std::uint64_t *tick_ptr)
+{
+    tickSource = tick_ptr;
+}
+
+void
+Logger::trace(const char *tag, const char *fmt, ...)
+{
+    std::uint64_t now = tickSource ? *tickSource : 0;
+    std::fprintf(stderr, "%10llu: %-6s: ",
+                 static_cast<unsigned long long>(now), tag);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+namespace
+{
+
+void
+vreport(const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", prefix);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // anonymous namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+} // namespace cpx

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Error reporting and optional debug tracing.
+ *
+ * Follows the gem5 convention: panic() flags simulator bugs (aborts),
+ * fatal() flags user/configuration errors (clean exit), warn() and
+ * inform() report conditions without stopping the simulation.
+ *
+ * Debug tracing is compiled in unconditionally but costs a single
+ * branch when disabled; enable it per component with
+ * Logger::enable("Dir") or Logger::enableAll().
+ */
+
+#ifndef CPX_SIM_LOGGING_HH
+#define CPX_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+namespace cpx
+{
+
+/**
+ * Process-wide debug-trace switchboard. Components are identified by
+ * short tag strings ("Dir", "SLC", "Net", ...).
+ */
+class Logger
+{
+  public:
+    /** Enable tracing for one component tag. */
+    static void enable(const std::string &tag);
+
+    /** Enable tracing for every component. */
+    static void enableAll();
+
+    /** Disable all tracing. */
+    static void disableAll();
+
+    /** @return true iff tracing is on for @p tag. */
+    static bool enabled(const std::string &tag);
+
+    /** printf-style trace line, prefixed with the current tick. */
+    static void trace(const char *tag, const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /**
+     * Hook used by trace() to prefix messages with simulated time.
+     * The event queue installs itself here on construction.
+     */
+    static void setTickSource(const std::uint64_t *tick_ptr);
+
+  private:
+    static bool allEnabled;
+    static std::unordered_set<std::string> enabledTags;
+    static const std::uint64_t *tickSource;
+};
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace cpx
+
+#define CPX_TRACE(tag, ...)                                             \
+    do {                                                                \
+        if (::cpx::Logger::enabled(tag))                                \
+            ::cpx::Logger::trace(tag, __VA_ARGS__);                     \
+    } while (0)
+
+#endif // CPX_SIM_LOGGING_HH

@@ -1,0 +1,28 @@
+#include "sim/stats.hh"
+
+#include <cstdio>
+
+namespace cpx
+{
+
+void
+StatGroup::dump(std::string &out) const
+{
+    char line[256];
+    for (const auto &[stat_name, counter] : counters) {
+        std::snprintf(line, sizeof(line), "%s.%s %llu\n", name_.c_str(),
+                      stat_name.c_str(),
+                      static_cast<unsigned long long>(counter->value()));
+        out += line;
+    }
+    for (const auto &[stat_name, acc] : accumulators) {
+        std::snprintf(line, sizeof(line),
+                      "%s.%s count=%llu mean=%.4f min=%.4f max=%.4f\n",
+                      name_.c_str(), stat_name.c_str(),
+                      static_cast<unsigned long long>(acc->count()),
+                      acc->mean(), acc->min(), acc->max());
+        out += line;
+    }
+}
+
+} // namespace cpx

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Stats are plain value types owned by the component they describe;
+ * a StatGroup gives them names so reports can be generated
+ * generically. There is no global registry: a simulated System owns
+ * the root group, so several systems can coexist in one process
+ * (needed by the benchmark harness, which runs many configurations).
+ */
+
+#ifndef CPX_SIM_STATS_HH
+#define CPX_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cpx
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples; reports count/sum/min/max/mean. */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width bucketed histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket
+     * @param num_buckets  number of regular buckets; samples at or
+     *                     beyond bucket_width*num_buckets land in the
+     *                     overflow bucket
+     */
+    explicit Histogram(std::uint64_t bucket_width = 1,
+                       std::size_t num_buckets = 16)
+        : width(bucket_width ? bucket_width : 1),
+          buckets(num_buckets, 0)
+    {}
+
+    void
+    sample(std::uint64_t v)
+    {
+        acc.sample(static_cast<double>(v));
+        std::size_t idx = v / width;
+        if (idx >= buckets.size())
+            ++overflow;
+        else
+            ++buckets[idx];
+    }
+
+    const std::vector<std::uint64_t> &bucketCounts() const {
+        return buckets;
+    }
+    std::uint64_t overflowCount() const { return overflow; }
+    std::uint64_t bucketWidth() const { return width; }
+    const Accumulator &summary() const { return acc; }
+
+    void
+    reset()
+    {
+        std::fill(buckets.begin(), buckets.end(), 0);
+        overflow = 0;
+        acc.reset();
+    }
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t overflow = 0;
+    Accumulator acc;
+};
+
+/**
+ * A named bag of scalar statistics for report generation. Components
+ * register references to their counters; dump() walks them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void
+    addCounter(const std::string &stat_name, const Counter *c)
+    {
+        counters[stat_name] = c;
+    }
+
+    void
+    addAccumulator(const std::string &stat_name, const Accumulator *a)
+    {
+        accumulators[stat_name] = a;
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Render "group.stat value" lines into @p out. */
+    void dump(std::string &out) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, const Counter *> counters;
+    std::map<std::string, const Accumulator *> accumulators;
+};
+
+} // namespace cpx
+
+#endif // CPX_SIM_STATS_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Internal factory functions for the individual workloads; use
+ * makeWorkload() (workload.hh) from outside the library.
+ */
+
+#ifndef CPX_WORKLOADS_APPS_HH
+#define CPX_WORKLOADS_APPS_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace cpx
+{
+
+std::unique_ptr<Workload> makeLu(double scale);
+std::unique_ptr<Workload> makeLuSoftwarePrefetch(double scale);
+std::unique_ptr<Workload> makeOcean(double scale);
+std::unique_ptr<Workload> makeWater(double scale);
+std::unique_ptr<Workload> makeMp3d(double scale);
+std::unique_ptr<Workload> makeCholesky(double scale);
+std::unique_ptr<Workload> makeFft(double scale);
+
+std::unique_ptr<Workload> makeMigratory(double scale);
+std::unique_ptr<Workload> makeProducerConsumer(double scale);
+std::unique_ptr<Workload> makeReadOnly(double scale);
+std::unique_ptr<Workload> makeFalseSharing(double scale);
+
+} // namespace cpx
+
+#endif // CPX_WORKLOADS_APPS_HH

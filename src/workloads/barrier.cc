@@ -1,0 +1,84 @@
+#include "workloads/barrier.hh"
+
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+void
+SimBarrier::init(System &sys, unsigned num_procs)
+{
+    numProcs = num_procs;
+    localSense.assign(num_procs, 0);
+    lockAddr = sys.heap().allocLock();
+    // Counter and sense flag in separate blocks: spinning on the
+    // sense flag must not collide with arrival-counter updates.
+    countAddr = sys.heap().allocIsolated(wordBytes);
+    senseAddr = sys.heap().allocIsolated(wordBytes);
+    sys.store().write32(countAddr, 0);
+    sys.store().write32(senseAddr, 0);
+}
+
+void
+SimBarrier::wait(Processor &p, unsigned id)
+{
+    std::uint32_t my_sense = localSense[id] ^ 1u;
+    localSense[id] = my_sense;
+
+    p.lock(lockAddr);
+    std::uint32_t arrived = p.read32(countAddr) + 1;
+    // The counter reset must happen inside the critical section: the
+    // release fence then guarantees the next barrier's first arriver
+    // (who must acquire this lock) sees it performed.
+    p.write32(countAddr, arrived == numProcs ? 0 : arrived);
+    p.unlock(lockAddr);
+
+    if (arrived == numProcs) {
+        // Last arriver flips the sense; spinners observe the flip
+        // when coherence reaches their caches. The sense write is a
+        // labelled release: without the fence it could linger in the
+        // CW write cache indefinitely.
+        p.write32(senseAddr, my_sense);
+        p.releaseFence();
+        return;
+    }
+
+    // Spin on the sense flag. The compute() models loop overhead and
+    // paces the re-reads (each re-read is a real cache access).
+    while (p.read32(senseAddr) != my_sense)
+        p.compute(8);
+}
+
+void
+SharedCounter::init(System &sys, std::uint32_t initial)
+{
+    lockAddr = sys.heap().allocLock();
+    valueAddr_ = sys.heap().allocIsolated(wordBytes);
+    sys.store().write32(valueAddr_, initial);
+}
+
+std::uint32_t
+SharedCounter::fetchAdd(Processor &p, std::uint32_t delta)
+{
+    p.lock(lockAddr);
+    std::uint32_t old = p.read32(valueAddr_);
+    p.write32(valueAddr_, old + delta);
+    p.unlock(lockAddr);
+    return old;
+}
+
+void
+SharedCounter::reset(Processor &p, std::uint32_t value)
+{
+    p.lock(lockAddr);
+    p.write32(valueAddr_, value);
+    p.unlock(lockAddr);
+}
+
+std::uint32_t
+SharedCounter::peek(System &sys) const
+{
+    return sys.store().read32(valueAddr_);
+}
+
+} // namespace cpx

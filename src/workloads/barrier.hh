@@ -1,0 +1,67 @@
+/**
+ * @file
+ * PARMACS-style synchronization helpers built on the simulator API.
+ *
+ * The barrier is the classic sense-reversing centralized barrier: a
+ * lock-protected arrival counter plus a shared sense flag that
+ * waiters spin on. The spinning generates real coherence traffic
+ * (invalidation misses under BASIC, updates under CW), which is
+ * exactly the behaviour the paper's acquire-stall component captures.
+ */
+
+#ifndef CPX_WORKLOADS_BARRIER_HH
+#define CPX_WORKLOADS_BARRIER_HH
+
+#include <vector>
+
+#include "core/system.hh"
+
+namespace cpx
+{
+
+class SimBarrier
+{
+  public:
+    /** Allocate and initialize barrier state for @p num_procs. */
+    void init(System &sys, unsigned num_procs);
+
+    /** Block processor @p p (worker @p id) until all have arrived. */
+    void wait(Processor &p, unsigned id);
+
+  private:
+    Addr lockAddr = 0;
+    Addr countAddr = 0;
+    Addr senseAddr = 0;
+    unsigned numProcs = 0;
+    std::vector<std::uint32_t> localSense;  //!< private per worker
+};
+
+/**
+ * A lock-protected shared counter ("fetch-and-add" in software) —
+ * the task-queue idiom of Cholesky and the cell updates of MP3D are
+ * built on this pattern (the paper's x := x + 1 migratory example).
+ */
+class SharedCounter
+{
+  public:
+    void init(System &sys, std::uint32_t initial = 0);
+
+    /** Atomically add @p delta; returns the previous value. */
+    std::uint32_t fetchAdd(Processor &p, std::uint32_t delta);
+
+    /** Set the counter to @p value (under the lock). */
+    void reset(Processor &p, std::uint32_t value);
+
+    /** Unsynchronized read (for single-threaded phases / verify). */
+    std::uint32_t peek(System &sys) const;
+
+    Addr valueAddr() const { return valueAddr_; }
+
+  private:
+    Addr lockAddr = 0;
+    Addr valueAddr_ = 0;
+};
+
+} // namespace cpx
+
+#endif // CPX_WORKLOADS_BARRIER_HH

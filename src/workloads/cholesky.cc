@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cholesky: direct factorization of a symmetric positive-definite
+ * matrix with a lock-protected dynamic task queue (§4; the paper ran
+ * the SPLASH sparse Cholesky on bcsstk14 — this kernel reproduces
+ * the dense right-looking variant with the same sharing signature).
+ *
+ * Per elimination step the pivot owner scales the pivot column, then
+ * processors grab trailing columns from a shared work counter (the
+ * migratory task-queue head) and apply the rank-1 update. Cholesky's
+ * paper profile: persistent cold misses (direct method), substantial
+ * migratory sharing via the queue and column handoffs.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workloads/apps.hh"
+#include "workloads/barrier.hh"
+
+namespace cpx
+{
+
+namespace
+{
+
+class CholeskyWorkload : public Workload
+{
+  public:
+    explicit CholeskyWorkload(unsigned n_dim) : n(n_dim) {}
+
+    std::string name() const override { return "cholesky"; }
+
+    void
+    setup(System &sys) override
+    {
+        numProcs = sys.params().numProcs;
+        barrier.init(sys, numProcs);
+        taskCounter.init(sys, 0);
+        matrix = sys.heap().allocBlockAligned(
+            static_cast<std::size_t>(n) * n * 8);
+
+        // Symmetric diagonally dominant => positive definite.
+        Rng rng(2024);
+        reference.assign(static_cast<std::size_t>(n) * n, 0.0);
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = 0; j <= i; ++j) {
+                double v = i == j ? n * 1.0 : rng.uniform(0.0, 1.0);
+                reference[i * n + j] = v;
+                reference[j * n + i] = v;
+            }
+        }
+        for (unsigned i = 0; i < n; ++i)
+            for (unsigned j = 0; j < n; ++j)
+                sys.store().writeDouble(elem(i, j),
+                                        reference[i * n + j]);
+
+        // Host reference factorization (lower triangle).
+        for (unsigned k = 0; k < n; ++k) {
+            reference[k * n + k] = std::sqrt(reference[k * n + k]);
+            for (unsigned i = k + 1; i < n; ++i)
+                reference[i * n + k] /= reference[k * n + k];
+            for (unsigned j = k + 1; j < n; ++j)
+                for (unsigned i = j; i < n; ++i)
+                    reference[i * n + j] -= reference[i * n + k] *
+                                            reference[j * n + k];
+        }
+    }
+
+    void
+    parallel(Processor &p, unsigned id) override
+    {
+        // Columns grabbed from the task queue in small batches.
+        constexpr unsigned task_width = 2;
+
+        for (unsigned k = 0; k < n; ++k) {
+            if (k % numProcs == id) {
+                // Pivot owner rewinds the task queue for this step
+                // (the others are still parked at the barrier) and
+                // scales the pivot column.
+                taskCounter.reset(p, 0);
+                double pivot =
+                    std::sqrt(p.readDouble(elem(k, k)));
+                p.writeDouble(elem(k, k), pivot);
+                p.compute(20);  // sqrt
+                for (unsigned i = k + 1; i < n; ++i) {
+                    p.writeDouble(elem(i, k),
+                                  p.readDouble(elem(i, k)) / pivot);
+                    p.compute(8);
+                }
+            }
+            barrier.wait(p, id);
+
+            // Dynamic task queue: grab trailing columns to update.
+            for (;;) {
+                std::uint32_t t = taskCounter.fetchAdd(p, task_width);
+                if (k + 1 + t >= n)
+                    break;
+                unsigned j_hi =
+                    std::min(n, k + 1 + t + task_width);
+                for (unsigned j = k + 1 + t; j < j_hi; ++j) {
+                    double ajk = p.readDouble(elem(j, k));
+                    for (unsigned i = j; i < n; ++i) {
+                        double aik = p.readDouble(elem(i, k));
+                        double aij = p.readDouble(elem(i, j));
+                        p.writeDouble(elem(i, j), aij - aik * ajk);
+                        p.compute(4);
+                    }
+                }
+            }
+            barrier.wait(p, id);
+        }
+    }
+
+    bool
+    verify(System &sys) override
+    {
+        // Each element is updated by exactly one processor per step
+        // in a fixed arithmetic order: exact (tolerance only for
+        // the unused upper triangle's stale symmetric values).
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = 0; j <= i; ++j) {
+                double got = sys.store().readDouble(elem(i, j));
+                double want = reference[i * n + j];
+                if (std::fabs(got - want) >
+                    1e-9 * std::max(1.0, std::fabs(want)))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    Addr
+    elem(unsigned i, unsigned j) const
+    {
+        // Column-major, as in SPLASH: column sweeps are sequential,
+        // which is what sequential prefetching exploits.
+        return matrix + (static_cast<Addr>(j) * n + i) * 8;
+    }
+
+    unsigned n;
+    unsigned numProcs = 0;
+    Addr matrix = 0;
+    SimBarrier barrier;
+    SharedCounter taskCounter;
+    std::vector<double> reference;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeCholesky(double scale)
+{
+    unsigned n = std::max(8u, static_cast<unsigned>(96 * scale));
+    return std::make_unique<CholeskyWorkload>(n);
+}
+
+} // namespace cpx

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * FFT: iterative radix-2 Cooley-Tukey transform over a shared
+ * complex array (an extension workload beyond the paper's five; the
+ * SPLASH-2 suite added FFT for the same reason).
+ *
+ * Why it is interesting here: the butterfly phases access the array
+ * at power-of-two *strides*, the worst case for sequential
+ * prefetching (the adaptive controller should throttle the degree
+ * down), while the final stages become contiguous again. Stage
+ * barriers dominate synchronization; there is no migratory sharing.
+ */
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "workloads/apps.hh"
+#include "workloads/barrier.hh"
+
+namespace cpx
+{
+
+namespace
+{
+
+class FftWorkload : public Workload
+{
+  public:
+    explicit FftWorkload(unsigned log2n) : logN(log2n), n(1u << log2n)
+    {}
+
+    std::string name() const override { return "fft"; }
+
+    void
+    setup(System &sys) override
+    {
+        numProcs = sys.params().numProcs;
+        barrier.init(sys, numProcs);
+        // data[i] = complex: two doubles (re, im), 16 bytes/point.
+        data = sys.heap().allocBlockAligned(
+            static_cast<std::size_t>(n) * 16);
+
+        host.resize(n);
+        for (unsigned i = 0; i < n; ++i) {
+            // A deterministic, non-trivial signal.
+            double re = std::sin(0.3 * i) + 0.25 * std::cos(1.7 * i);
+            double im = 0.1 * std::sin(2.1 * i);
+            host[i] = {re, im};
+            sys.store().writeDouble(reAddr(i), re);
+            sys.store().writeDouble(imAddr(i), im);
+        }
+
+        referenceFft();
+    }
+
+    void
+    parallel(Processor &p, unsigned id) override
+    {
+        // Phase 1: bit-reversal permutation (each processor swaps
+        // the pairs whose smaller index it owns).
+        for (unsigned i = id; i < n; i += numProcs) {
+            unsigned j = bitReverse(i);
+            if (i < j) {
+                double re_i = p.readDouble(reAddr(i));
+                double im_i = p.readDouble(imAddr(i));
+                double re_j = p.readDouble(reAddr(j));
+                double im_j = p.readDouble(imAddr(j));
+                p.writeDouble(reAddr(i), re_j);
+                p.writeDouble(imAddr(i), im_j);
+                p.writeDouble(reAddr(j), re_i);
+                p.writeDouble(imAddr(j), im_i);
+                p.compute(6);
+            }
+        }
+        barrier.wait(p, id);
+
+        // Phase 2: logN butterfly stages, one barrier each.
+        for (unsigned stage = 1; stage <= logN; ++stage) {
+            unsigned m = 1u << stage;   // butterfly span
+            unsigned half = m >> 1;
+            // Butterflies are indexed by (group, k); each processor
+            // takes whole butterflies round-robin.
+            unsigned butterflies = n / 2;
+            for (unsigned b = id; b < butterflies; b += numProcs) {
+                unsigned group = b / half;
+                unsigned k = b % half;
+                unsigned top = group * m + k;
+                unsigned bot = top + half;
+                double angle = -2.0 * pi * k / m;
+                double wr = std::cos(angle);
+                double wi = std::sin(angle);
+                p.compute(12);  // twiddle + complex multiply
+
+                double tr = p.readDouble(reAddr(bot));
+                double ti = p.readDouble(imAddr(bot));
+                double xr = tr * wr - ti * wi;
+                double xi = tr * wi + ti * wr;
+                double ur = p.readDouble(reAddr(top));
+                double ui = p.readDouble(imAddr(top));
+                p.writeDouble(reAddr(top), ur + xr);
+                p.writeDouble(imAddr(top), ui + xi);
+                p.writeDouble(reAddr(bot), ur - xr);
+                p.writeDouble(imAddr(bot), ui - xi);
+                p.compute(8);
+            }
+            barrier.wait(p, id);
+        }
+    }
+
+    bool
+    verify(System &sys) override
+    {
+        // Butterflies of one stage touch disjoint points, so the
+        // parallel schedule computes exactly the host reference.
+        for (unsigned i = 0; i < n; ++i) {
+            double re = sys.store().readDouble(reAddr(i));
+            double im = sys.store().readDouble(imAddr(i));
+            if (std::fabs(re - host[i].real()) > 1e-9 * (1 + n) ||
+                std::fabs(im - host[i].imag()) > 1e-9 * (1 + n))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr double pi = 3.14159265358979323846;
+
+    Addr reAddr(unsigned i) const { return data + i * 16; }
+    Addr imAddr(unsigned i) const { return data + i * 16 + 8; }
+
+    unsigned
+    bitReverse(unsigned i) const
+    {
+        unsigned r = 0;
+        for (unsigned bit = 0; bit < logN; ++bit)
+            if (i & (1u << bit))
+                r |= 1u << (logN - 1 - bit);
+        return r;
+    }
+
+    void
+    referenceFft()
+    {
+        // Identical algorithm, sequential.
+        for (unsigned i = 0; i < n; ++i) {
+            unsigned j = bitReverse(i);
+            if (i < j)
+                std::swap(host[i], host[j]);
+        }
+        for (unsigned stage = 1; stage <= logN; ++stage) {
+            unsigned m = 1u << stage;
+            unsigned half = m >> 1;
+            for (unsigned b = 0; b < n / 2; ++b) {
+                unsigned group = b / half;
+                unsigned k = b % half;
+                unsigned top = group * m + k;
+                unsigned bot = top + half;
+                double angle = -2.0 * pi * k / m;
+                std::complex<double> w(std::cos(angle),
+                                       std::sin(angle));
+                std::complex<double> x = host[bot] * w;
+                std::complex<double> u = host[top];
+                host[top] = u + x;
+                host[bot] = u - x;
+            }
+        }
+    }
+
+    unsigned logN;
+    unsigned n;
+    unsigned numProcs = 0;
+    Addr data = 0;
+    SimBarrier barrier;
+    std::vector<std::complex<double>> host;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeFft(double scale)
+{
+    // scale moves the transform size along powers of two.
+    unsigned log2n = 10;  // 1024 points at scale 1
+    if (scale < 0.75)
+        log2n = 8;
+    else if (scale < 1.5)
+        log2n = 10;
+    else
+        log2n = 12;
+    return std::make_unique<FftWorkload>(log2n);
+}
+
+} // namespace cpx

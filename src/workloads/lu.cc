@@ -1,0 +1,167 @@
+/**
+ * @file
+ * LU: dense LU factorization without pivoting (one of the two
+ * Stanford applications of §4; the paper ran a 200×200 matrix).
+ *
+ * Columns are distributed round-robin; each elimination step scales
+ * the pivot column (owner only) and then updates the trailing
+ * submatrix column-by-column, with barriers separating the phases.
+ * The sharing pattern is the paper's LU signature: very high spatial
+ * locality, persistent cold misses (direct solution method), little
+ * migratory sharing — adaptive sequential prefetching's best case.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workloads/apps.hh"
+#include "workloads/barrier.hh"
+
+namespace cpx
+{
+
+namespace
+{
+
+class LuWorkload : public Workload
+{
+  public:
+    /**
+     * @param n_dim    matrix dimension
+     * @param sw_pf    insert software prefetches ([9]-style column
+     *                 prefetching; shared for the pivot column,
+     *                 exclusive for the column about to be written)
+     */
+    explicit LuWorkload(unsigned n_dim, bool sw_pf = false)
+        : n(n_dim), softwarePf(sw_pf)
+    {}
+
+    std::string name() const override {
+        return softwarePf ? "lu_swpf" : "lu";
+    }
+
+    void
+    setup(System &sys) override
+    {
+        numProcs = sys.params().numProcs;
+        barrier.init(sys, numProcs);
+        matrix = sys.heap().allocBlockAligned(
+            static_cast<std::size_t>(n) * n * 8);
+
+        // Diagonally dominant matrix: LU without pivoting is stable.
+        Rng rng(42);
+        reference.assign(static_cast<std::size_t>(n) * n, 0.0);
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = 0; j < n; ++j) {
+                double v = rng.uniform(0.0, 1.0);
+                if (i == j)
+                    v += n;
+                reference[i * n + j] = v;
+                sys.store().writeDouble(elem(i, j), v);
+            }
+        }
+
+        // Host-side reference factorization (same algorithm).
+        for (unsigned k = 0; k < n; ++k) {
+            for (unsigned i = k + 1; i < n; ++i) {
+                reference[i * n + k] /= reference[k * n + k];
+                for (unsigned j = k + 1; j < n; ++j) {
+                    reference[i * n + j] -=
+                        reference[i * n + k] * reference[k * n + j];
+                }
+            }
+        }
+    }
+
+    void
+    parallel(Processor &p, unsigned id) override
+    {
+        for (unsigned k = 0; k < n; ++k) {
+            if (k % numProcs == id) {
+                // Owner scales the pivot column.
+                double pivot = p.readDouble(elem(k, k));
+                for (unsigned i = k + 1; i < n; ++i) {
+                    double v = p.readDouble(elem(i, k)) / pivot;
+                    p.writeDouble(elem(i, k), v);
+                    p.compute(8);  // FP divide
+                }
+            }
+            barrier.wait(p, id);
+
+            // Everyone updates their columns of the trailing matrix.
+            for (unsigned j = k + 1; j < n; ++j) {
+                if (j % numProcs != id)
+                    continue;
+                if (softwarePf) {
+                    // Compiler-style block prefetching [9]: the
+                    // pivot column is read-shared, the updated
+                    // column is fetched exclusively (it is about to
+                    // be written).
+                    for (unsigned i = k + 1; i < n; i += 4) {
+                        p.prefetch(elem(i, k), false);
+                        p.prefetch(elem(i, j), true);
+                    }
+                }
+                double akj = p.readDouble(elem(k, j));
+                for (unsigned i = k + 1; i < n; ++i) {
+                    double aik = p.readDouble(elem(i, k));
+                    double aij = p.readDouble(elem(i, j));
+                    p.writeDouble(elem(i, j), aij - aik * akj);
+                    p.compute(4);  // FP multiply-add
+                }
+            }
+            barrier.wait(p, id);
+        }
+    }
+
+    bool
+    verify(System &sys) override
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = 0; j < n; ++j) {
+                double got = sys.store().readDouble(elem(i, j));
+                double want = reference[i * n + j];
+                double tolerance =
+                    1e-9 * std::max(1.0, std::fabs(want));
+                if (std::fabs(got - want) > tolerance)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    Addr
+    elem(unsigned i, unsigned j) const
+    {
+        // Column-major, as in SPLASH: column sweeps are sequential,
+        // which is what sequential prefetching exploits.
+        return matrix + (static_cast<Addr>(j) * n + i) * 8;
+    }
+
+    unsigned n;
+    bool softwarePf;
+    unsigned numProcs = 0;
+    Addr matrix = 0;
+    SimBarrier barrier;
+    std::vector<double> reference;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeLu(double scale)
+{
+    unsigned n = std::max(8u, static_cast<unsigned>(128 * scale));
+    return std::make_unique<LuWorkload>(n);
+}
+
+std::unique_ptr<Workload>
+makeLuSoftwarePrefetch(double scale)
+{
+    unsigned n = std::max(8u, static_cast<unsigned>(128 * scale));
+    return std::make_unique<LuWorkload>(n, /*sw_pf=*/true);
+}
+
+} // namespace cpx

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Ocean: iterative red-black Gauss-Seidel relaxation on a 2-D grid
+ * (the second Stanford application of §4; the paper ran a 128×128
+ * grid with a convergence tolerance).
+ *
+ * Rows are block-partitioned across processors. Each iteration
+ * relaxes the red then the black points with a barrier after each
+ * half-sweep, accumulates the local residual into a lock-protected
+ * global, and tests convergence. Sharing is near-neighbour (boundary
+ * rows ping-pong between adjacent processors), with barrier-heavy
+ * synchronization and little migratory sharing — the paper's Ocean
+ * profile.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workloads/apps.hh"
+#include "workloads/barrier.hh"
+
+namespace cpx
+{
+
+namespace
+{
+
+class OceanWorkload : public Workload
+{
+  public:
+    OceanWorkload(unsigned interior, unsigned max_iters,
+                  double tolerance)
+        : n(interior), maxIters(max_iters), tol(tolerance)
+    {}
+
+    std::string name() const override { return "ocean"; }
+
+    void
+    setup(System &sys) override
+    {
+        numProcs = sys.params().numProcs;
+        barrier.init(sys, numProcs);
+        grid = sys.heap().allocBlockAligned(
+            static_cast<std::size_t>(n + 2) * (n + 2) * 8);
+        errLock = sys.heap().allocLock();
+        errAddr = sys.heap().allocIsolated(8);
+        doneAddr = sys.heap().allocIsolated(wordBytes);
+
+        Rng rng(7);
+        hostGrid.assign(static_cast<std::size_t>(n + 2) * (n + 2),
+                        0.0);
+        for (unsigned i = 0; i < n + 2; ++i) {
+            for (unsigned j = 0; j < n + 2; ++j) {
+                bool border =
+                    i == 0 || j == 0 || i == n + 1 || j == n + 1;
+                double v = border ? std::sin(0.1 * i) +
+                                        std::cos(0.1 * j)
+                                  : rng.uniform(-1.0, 1.0);
+                hostGrid[i * (n + 2) + j] = v;
+                sys.store().writeDouble(elem(i, j), v);
+            }
+        }
+        sys.store().writeDouble(errAddr, 0.0);
+        sys.store().write32(doneAddr, 0);
+
+        hostIterations = referenceSolve();
+    }
+
+    void
+    parallel(Processor &p, unsigned id) override
+    {
+        unsigned row_lo, row_hi;
+        myRows(id, row_lo, row_hi);
+
+        for (unsigned iter = 0; iter < maxIters; ++iter) {
+            double local_err = 0.0;
+            for (unsigned colour = 0; colour < 2; ++colour) {
+                for (unsigned i = row_lo; i <= row_hi; ++i) {
+                    for (unsigned j = 1; j <= n; ++j) {
+                        if ((i + j) % 2 != colour)
+                            continue;
+                        double up = p.readDouble(elem(i - 1, j));
+                        double down = p.readDouble(elem(i + 1, j));
+                        double left = p.readDouble(elem(i, j - 1));
+                        double right = p.readDouble(elem(i, j + 1));
+                        double old = p.readDouble(elem(i, j));
+                        double next =
+                            0.25 * (up + down + left + right);
+                        p.writeDouble(elem(i, j), next);
+                        p.compute(6);  // stencil FP work
+                        // Max-norm residual: the max is insensitive
+                        // to accumulation order, so the parallel run
+                        // converges on exactly the same iteration as
+                        // the host reference.
+                        local_err = std::max(local_err,
+                                             std::fabs(next - old));
+                    }
+                }
+                barrier.wait(p, id);
+            }
+
+            // Fold the local residual into the global max-norm.
+            p.lock(errLock);
+            double global = p.readDouble(errAddr);
+            if (local_err > global)
+                p.writeDouble(errAddr, local_err);
+            p.unlock(errLock);
+            barrier.wait(p, id);
+
+            if (id == 0) {
+                double err = p.readDouble(errAddr);
+                p.write32(doneAddr, err < tol ? 1u : 0u);
+                p.writeDouble(errAddr, 0.0);
+            }
+            barrier.wait(p, id);
+            if (p.read32(doneAddr) != 0) {
+                simIterations = iter + 1;
+                break;
+            }
+        }
+    }
+
+    bool
+    verify(System &sys) override
+    {
+        // The simulated run must produce the same grid as the host
+        // reference (same algorithm, same schedule).
+        for (unsigned i = 0; i < n + 2; ++i) {
+            for (unsigned j = 0; j < n + 2; ++j) {
+                double got = sys.store().readDouble(elem(i, j));
+                double want = hostGrid[i * (n + 2) + j];
+                if (std::fabs(got - want) >
+                    1e-9 * std::max(1.0, std::fabs(want))) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+  private:
+    Addr
+    elem(unsigned i, unsigned j) const
+    {
+        return grid + (static_cast<Addr>(i) * (n + 2) + j) * 8;
+    }
+
+    void
+    myRows(unsigned id, unsigned &lo, unsigned &hi) const
+    {
+        unsigned rows = n / numProcs;
+        unsigned extra = n % numProcs;
+        lo = 1 + id * rows + std::min(id, extra);
+        hi = lo + rows - 1 + (id < extra ? 1 : 0);
+        if (rows == 0 && id >= extra) {
+            lo = 1;
+            hi = 0;  // no rows for this processor
+        }
+    }
+
+    /** Host-side reference run; returns the iteration count. */
+    unsigned
+    referenceSolve()
+    {
+        unsigned stride = n + 2;
+        for (unsigned iter = 0; iter < maxIters; ++iter) {
+            double err = 0.0;
+            for (unsigned colour = 0; colour < 2; ++colour) {
+                for (unsigned i = 1; i <= n; ++i) {
+                    for (unsigned j = 1; j <= n; ++j) {
+                        if ((i + j) % 2 != colour)
+                            continue;
+                        double old = hostGrid[i * stride + j];
+                        double next =
+                            0.25 * (hostGrid[(i - 1) * stride + j] +
+                                    hostGrid[(i + 1) * stride + j] +
+                                    hostGrid[i * stride + j - 1] +
+                                    hostGrid[i * stride + j + 1]);
+                        hostGrid[i * stride + j] = next;
+                        err = std::max(err, std::fabs(next - old));
+                    }
+                }
+            }
+            if (err < tol)
+                return iter + 1;
+        }
+        return maxIters;
+    }
+
+    unsigned n;
+    unsigned maxIters;
+    double tol;
+    unsigned numProcs = 0;
+    Addr grid = 0;
+    Addr errLock = 0;
+    Addr errAddr = 0;
+    Addr doneAddr = 0;
+    SimBarrier barrier;
+    std::vector<double> hostGrid;
+    unsigned hostIterations = 0;
+    unsigned simIterations = 0;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeOcean(double scale)
+{
+    unsigned n = std::max(16u, static_cast<unsigned>(80 * scale));
+    return std::make_unique<OceanWorkload>(n, 20, 1e-3);
+}
+
+} // namespace cpx

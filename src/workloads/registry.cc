@@ -1,0 +1,61 @@
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+#include "workloads/apps.hh"
+
+namespace cpx
+{
+
+WorkloadRun
+runWorkload(System &sys, Workload &w, Tick limit)
+{
+    w.setup(sys);
+    Tick exec_time = sys.run(
+        [&w](Processor &p, unsigned id) { w.parallel(p, id); },
+        limit);
+    sys.flushFunctionalState();
+
+    WorkloadRun result;
+    result.execTime = exec_time;
+    result.verified = w.verify(sys);
+    result.stats = collectStats(sys, exec_time);
+    return result;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, double scale)
+{
+    if (name == "lu")
+        return makeLu(scale);
+    if (name == "lu_swpf")
+        return makeLuSoftwarePrefetch(scale);
+    if (name == "ocean")
+        return makeOcean(scale);
+    if (name == "water")
+        return makeWater(scale);
+    if (name == "mp3d")
+        return makeMp3d(scale);
+    if (name == "cholesky")
+        return makeCholesky(scale);
+    if (name == "fft")
+        return makeFft(scale);
+    if (name == "migratory")
+        return makeMigratory(scale);
+    if (name == "producer_consumer")
+        return makeProducerConsumer(scale);
+    if (name == "readonly")
+        return makeReadOnly(scale);
+    if (name == "false_sharing")
+        return makeFalseSharing(scale);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+paperApplications()
+{
+    static const std::vector<std::string> apps{
+        "mp3d", "cholesky", "water", "lu", "ocean"};
+    return apps;
+}
+
+} // namespace cpx

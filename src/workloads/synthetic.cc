@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Synthetic sharing-pattern kernels.
+ *
+ * These isolate one sharing behaviour each, for unit tests and for
+ * the targeted ablation benches: "migratory" is the pure x := x + 1
+ * pattern of §3.2, "producer_consumer" exercises update vs invalidate
+ * trade-offs, "readonly" should be untouched by every extension, and
+ * "false_sharing" is the pattern sequential prefetching must not make
+ * worse (§3.1's argument against simply enlarging the block).
+ */
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "workloads/apps.hh"
+#include "workloads/barrier.hh"
+
+namespace cpx
+{
+
+namespace
+{
+
+/** Lock-protected counters incremented round-robin by all procs. */
+class MigratoryWorkload : public Workload
+{
+  public:
+    MigratoryWorkload(unsigned counters, unsigned increments)
+        : numCounters(counters), incrementsPerProc(increments)
+    {}
+
+    std::string name() const override { return "migratory"; }
+
+    void
+    setup(System &sys) override
+    {
+        numProcs = sys.params().numProcs;
+        barrier.init(sys, numProcs);
+        counterAddrs.resize(numCounters);
+        lockAddrs.resize(numCounters);
+        for (unsigned c = 0; c < numCounters; ++c) {
+            lockAddrs[c] = sys.heap().allocLock();
+            counterAddrs[c] =
+                sys.heap().allocBlockAligned(wordBytes);
+            sys.store().write32(counterAddrs[c], 0);
+        }
+    }
+
+    void
+    parallel(Processor &p, unsigned id) override
+    {
+        for (unsigned i = 0; i < incrementsPerProc; ++i) {
+            unsigned c = (id + i) % numCounters;
+            p.lock(lockAddrs[c]);
+            std::uint32_t v = p.read32(counterAddrs[c]);
+            p.compute(10);
+            p.write32(counterAddrs[c], v + 1);
+            p.unlock(lockAddrs[c]);
+            p.compute(20);
+        }
+        barrier.wait(p, id);
+    }
+
+    bool
+    verify(System &sys) override
+    {
+        std::uint64_t total = 0;
+        for (unsigned c = 0; c < numCounters; ++c)
+            total += sys.store().read32(counterAddrs[c]);
+        return total ==
+               static_cast<std::uint64_t>(numProcs) *
+                   incrementsPerProc;
+    }
+
+  private:
+    unsigned numCounters;
+    unsigned incrementsPerProc;
+    unsigned numProcs = 0;
+    std::vector<Addr> counterAddrs;
+    std::vector<Addr> lockAddrs;
+    SimBarrier barrier;
+};
+
+/** Proc 0 produces an array each round; the others consume it. */
+class ProducerConsumerWorkload : public Workload
+{
+  public:
+    ProducerConsumerWorkload(unsigned words, unsigned rounds)
+        : numWords(words), numRounds(rounds)
+    {}
+
+    std::string name() const override { return "producer_consumer"; }
+
+    void
+    setup(System &sys) override
+    {
+        numProcs = sys.params().numProcs;
+        barrier.init(sys, numProcs);
+        data = sys.heap().allocBlockAligned(numWords * wordBytes);
+        checksum = sys.heap().allocBlockAligned(
+            numProcs * sys.params().blockBytes);
+        for (unsigned w = 0; w < numWords; ++w)
+            sys.store().write32(data + w * wordBytes, 0);
+        for (unsigned q = 0; q < numProcs; ++q)
+            sys.store().write32(slot(sys, q), 0);
+    }
+
+    void
+    parallel(Processor &p, unsigned id) override
+    {
+        std::uint32_t sum = 0;
+        for (unsigned round = 1; round <= numRounds; ++round) {
+            if (id == 0) {
+                for (unsigned w = 0; w < numWords; ++w)
+                    p.write32(data + w * wordBytes,
+                              round * 1000 + w);
+            }
+            barrier.wait(p, id);
+            for (unsigned w = id; w < numWords; w += numProcs) {
+                sum += p.read32(data + w * wordBytes);
+                p.compute(4);
+            }
+            barrier.wait(p, id);
+        }
+        p.write32(checksumSlots[id], sum);
+    }
+
+    bool
+    verify(System &sys) override
+    {
+        std::vector<std::uint32_t> per_proc(numProcs, 0);
+        for (unsigned round = 1; round <= numRounds; ++round)
+            for (unsigned w = 0; w < numWords; ++w)
+                per_proc[w % numProcs] += round * 1000 + w;
+        for (unsigned q = 0; q < numProcs; ++q) {
+            if (sys.store().read32(checksumSlots[q]) != per_proc[q])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    Addr
+    slot(System &sys, unsigned q)
+    {
+        Addr a = checksum + q * sys.params().blockBytes;
+        if (checksumSlots.size() < numProcs)
+            checksumSlots.resize(numProcs);
+        checksumSlots[q] = a;
+        return a;
+    }
+
+    unsigned numWords;
+    unsigned numRounds;
+    unsigned numProcs = 0;
+    Addr data = 0;
+    Addr checksum = 0;
+    std::vector<Addr> checksumSlots;
+    SimBarrier barrier;
+};
+
+/** All processors randomly read a shared table; no writes at all. */
+class ReadOnlyWorkload : public Workload
+{
+  public:
+    ReadOnlyWorkload(unsigned words, unsigned reads)
+        : numWords(words), readsPerProc(reads)
+    {}
+
+    std::string name() const override { return "readonly"; }
+
+    void
+    setup(System &sys) override
+    {
+        numProcs = sys.params().numProcs;
+        barrier.init(sys, numProcs);
+        table = sys.heap().allocBlockAligned(numWords * wordBytes);
+        results = sys.heap().allocBlockAligned(
+            numProcs * sys.params().blockBytes);
+        for (unsigned w = 0; w < numWords; ++w)
+            sys.store().write32(table + w * wordBytes, w * 2654435761u);
+    }
+
+    void
+    parallel(Processor &p, unsigned id) override
+    {
+        Rng rng(id + 1);
+        std::uint32_t sum = 0;
+        for (unsigned i = 0; i < readsPerProc; ++i) {
+            unsigned w = static_cast<unsigned>(rng.below(numWords));
+            sum += p.read32(table + w * wordBytes);
+            p.compute(3);
+        }
+        p.write32(results + id * 32, sum);
+        barrier.wait(p, id);
+    }
+
+    bool
+    verify(System &sys) override
+    {
+        for (unsigned q = 0; q < numProcs; ++q) {
+            Rng rng(q + 1);
+            std::uint32_t want = 0;
+            for (unsigned i = 0; i < readsPerProc; ++i) {
+                unsigned w =
+                    static_cast<unsigned>(rng.below(numWords));
+                want += (w * 2654435761u);
+            }
+            if (sys.store().read32(results + q * 32) != want)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    unsigned numWords;
+    unsigned readsPerProc;
+    unsigned numProcs = 0;
+    Addr table = 0;
+    Addr results = 0;
+    SimBarrier barrier;
+};
+
+/** Each processor hammers its own word of shared blocks. */
+class FalseSharingWorkload : public Workload
+{
+  public:
+    explicit FalseSharingWorkload(unsigned iterations)
+        : iters(iterations)
+    {}
+
+    std::string name() const override { return "false_sharing"; }
+
+    void
+    setup(System &sys) override
+    {
+        numProcs = sys.params().numProcs;
+        barrier.init(sys, numProcs);
+        // One word per processor, all packed into as few blocks as
+        // possible: every write invalidates the others' copies.
+        array = sys.heap().allocBlockAligned(numProcs * wordBytes);
+        for (unsigned q = 0; q < numProcs; ++q)
+            sys.store().write32(array + q * wordBytes, 0);
+    }
+
+    void
+    parallel(Processor &p, unsigned id) override
+    {
+        Addr mine = array + id * wordBytes;
+        for (unsigned i = 0; i < iters; ++i) {
+            std::uint32_t v = p.read32(mine);
+            p.write32(mine, v + 1);
+            p.compute(6);
+        }
+        barrier.wait(p, id);
+    }
+
+    bool
+    verify(System &sys) override
+    {
+        for (unsigned q = 0; q < numProcs; ++q)
+            if (sys.store().read32(array + q * wordBytes) != iters)
+                return false;
+        return true;
+    }
+
+  private:
+    unsigned iters;
+    unsigned numProcs = 0;
+    Addr array = 0;
+    SimBarrier barrier;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeMigratory(double scale)
+{
+    unsigned incs = std::max(8u, static_cast<unsigned>(200 * scale));
+    return std::make_unique<MigratoryWorkload>(4, incs);
+}
+
+std::unique_ptr<Workload>
+makeProducerConsumer(double scale)
+{
+    unsigned words = std::max(32u, static_cast<unsigned>(256 * scale));
+    return std::make_unique<ProducerConsumerWorkload>(words, 6);
+}
+
+std::unique_ptr<Workload>
+makeReadOnly(double scale)
+{
+    unsigned reads = std::max(64u, static_cast<unsigned>(500 * scale));
+    return std::make_unique<ReadOnlyWorkload>(1024, reads);
+}
+
+std::unique_ptr<Workload>
+makeFalseSharing(double scale)
+{
+    unsigned iters = std::max(32u, static_cast<unsigned>(300 * scale));
+    return std::make_unique<FalseSharingWorkload>(iters);
+}
+
+} // namespace cpx

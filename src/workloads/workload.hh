@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload interface: a parallel program driving the simulator.
+ *
+ * Following the paper's methodology (§4), statistics cover the
+ * parallel section only: setup() initializes shared data functionally
+ * (no simulated time, caches stay cold), parallel() runs on every
+ * simulated processor's fiber, and verify() checks functional
+ * correctness after the caches have been flushed back to memory.
+ */
+
+#ifndef CPX_WORKLOADS_WORKLOAD_HH
+#define CPX_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "core/report.hh"
+#include "core/system.hh"
+
+namespace cpx
+{
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Allocate and functionally initialize shared data. */
+    virtual void setup(System &sys) = 0;
+
+    /** The parallel section, executed by every simulated processor. */
+    virtual void parallel(Processor &p, unsigned id) = 0;
+
+    /** Check results (after System::flushFunctionalState()). */
+    virtual bool verify(System &sys) = 0;
+};
+
+/** Result of one workload run. */
+struct WorkloadRun
+{
+    Tick execTime = 0;
+    bool verified = false;
+    RunResult stats;
+};
+
+/**
+ * Run @p w on @p sys: setup, parallel section, functional flush,
+ * verification, statistics collection.
+ */
+WorkloadRun runWorkload(System &sys, Workload &w, Tick limit = maxTick);
+
+/**
+ * Factory: construct a workload by name. Names: "mp3d", "cholesky",
+ * "water", "lu", "ocean" (the five applications of §4), the
+ * extension application "fft", and the synthetic kernels
+ * "migratory", "producer_consumer", "readonly", "false_sharing".
+ * (Trace replay is separate: see workloads/trace.hh.)
+ *
+ * @param scale linear problem-size multiplier (1.0 = the harness
+ *              default sizes; tests use smaller values)
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       double scale = 1.0);
+
+/** The five application names in the paper's order. */
+const std::vector<std::string> &paperApplications();
+
+} // namespace cpx
+
+#endif // CPX_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Consistency-model tests: SC stalls writes until globally
+ * performed, RC hides them behind the write buffers; releases drain
+ * pending ownership requests; full buffers stall the processor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "core/system.hh"
+
+namespace cpx
+{
+namespace
+{
+
+MachineParams
+machine(ProtocolConfig proto, Consistency c)
+{
+    MachineParams params = makeParams(proto, c);
+    params.numProcs = 4;
+    return params;
+}
+
+/** A burst of writes to distinct blocks. */
+void
+writeBurst(Processor &p, Addr base, unsigned blocks)
+{
+    for (unsigned i = 0; i < blocks; ++i)
+        p.write32(base + i * 32, i);
+}
+
+TEST(Consistency, ScStallsOnEveryWrite)
+{
+    System sys(machine(ProtocolConfig::basic(),
+                       Consistency::SequentialConsistency));
+    Addr base = sys.heap().allocBlockAligned(32 * 32);
+    sys.run([&](Processor &p, unsigned id) {
+        if (id == 0)
+            writeBurst(p, base, 16);
+    });
+    const auto &t = sys.processor(0).times();
+    EXPECT_GT(t.writeStall, 0u);
+    // Each write waited for its full transaction: far more stall
+    // than the 16 busy cycles.
+    EXPECT_GT(t.writeStall, 16u * 20u);
+}
+
+TEST(Consistency, RcHidesWriteLatency)
+{
+    System sys(machine(ProtocolConfig::basic(),
+                       Consistency::ReleaseConsistency));
+    Addr base = sys.heap().allocBlockAligned(32 * 32);
+    sys.run([&](Processor &p, unsigned id) {
+        if (id == 0) {
+            writeBurst(p, base, 8);  // fits in FLWB (8) + SLWB (16)
+            p.compute(10000);        // plenty of time to drain
+        }
+    });
+    EXPECT_EQ(sys.processor(0).times().writeStall, 0u);
+    EXPECT_TRUE(sys.quiescent());
+}
+
+TEST(Consistency, RcIsFasterThanScForWriteHeavyCode)
+{
+    auto run = [](Consistency c) {
+        System sys(machine(ProtocolConfig::basic(), c));
+        Addr base = sys.heap().allocBlockAligned(64 * 32);
+        return sys.run([&](Processor &p, unsigned id) {
+            if (id == 0)
+                writeBurst(p, base, 32);
+        });
+    };
+    EXPECT_LT(run(Consistency::ReleaseConsistency),
+              run(Consistency::SequentialConsistency));
+}
+
+TEST(Consistency, FullWriteBuffersStallTheProcessor)
+{
+    MachineParams params =
+        machine(ProtocolConfig::basic(),
+                Consistency::ReleaseConsistency);
+    params.flwbEntries = 2;
+    params.slwbEntries = 2;
+    System sys(params);
+    Addr base = sys.heap().allocBlockAligned(64 * 32);
+    sys.run([&](Processor &p, unsigned id) {
+        if (id == 0)
+            writeBurst(p, base, 32);
+    });
+    EXPECT_GT(sys.processor(0).times().writeStall, 0u);
+}
+
+TEST(Consistency, ReleaseWaitsForPendingOwnership)
+{
+    System sys(machine(ProtocolConfig::basic(),
+                       Consistency::ReleaseConsistency));
+    Addr a = sys.heap().allocBlockAligned(32);
+    Addr lock = sys.heap().allocLock();
+    sys.run([&](Processor &p, unsigned id) {
+        if (id == 0) {
+            p.lock(lock);
+            p.write32(a, 1);
+            p.unlock(lock);  // must wait for the write to perform
+        }
+    });
+    EXPECT_GT(sys.processor(0).times().releaseStall, 0u);
+    // After the release, memory and directory agree.
+    auto snap = sys.dir(sys.amap().home(a)).inspect(a);
+    EXPECT_TRUE(snap.modified);
+    EXPECT_EQ(snap.owner, 0u);
+}
+
+TEST(Consistency, ReleaseFenceAloneDrains)
+{
+    System sys(machine(ProtocolConfig::cw(),
+                       Consistency::ReleaseConsistency));
+    Addr a = sys.heap().allocBlockAligned(32);
+    sys.run([&](Processor &p, unsigned id) {
+        if (id == 0) {
+            p.write32(a, 42);
+            p.releaseFence();
+        }
+    });
+    // The combined write reached memory without any lock involved.
+    EXPECT_EQ(sys.store().read32(a), 42u);
+    EXPECT_FALSE(sys.node(0).slc.writeCacheUnit().contains(a));
+}
+
+TEST(Consistency, ScReadsAndWritesStillInterleaveCorrectly)
+{
+    System sys(machine(ProtocolConfig::basic(),
+                       Consistency::SequentialConsistency));
+    Addr a = sys.heap().allocBlockAligned(32);
+    Addr lock = sys.heap().allocLock();
+    sys.store().write32(a, 0);
+    sys.run([&](Processor &p, unsigned id) {
+        for (int i = 0; i < 8; ++i) {
+            p.lock(lock);
+            std::uint32_t v = p.read32(a);
+            p.write32(a, v + 1);
+            p.unlock(lock);
+            p.compute(13 * (id + 1));
+        }
+    });
+    sys.flushFunctionalState();
+    EXPECT_EQ(sys.store().read32(a), 32u);
+}
+
+TEST(Consistency, AppliedDefaultsShrinkBuffersUnderSc)
+{
+    MachineParams rc = makeParams(ProtocolConfig::basic(),
+                                  Consistency::ReleaseConsistency);
+    EXPECT_EQ(rc.flwbEntries, 8u);
+    EXPECT_EQ(rc.slwbEntries, 16u);
+
+    MachineParams sc = makeParams(ProtocolConfig::basic(),
+                                  Consistency::SequentialConsistency);
+    EXPECT_EQ(sc.flwbEntries, 1u);
+    EXPECT_EQ(sc.slwbEntries, 1u);
+
+    // P under SC keeps SLWB room for pending prefetches (§5.2).
+    MachineParams psc = makeParams(ProtocolConfig::p(),
+                                   Consistency::SequentialConsistency);
+    EXPECT_EQ(psc.slwbEntries, 16u);
+}
+
+} // anonymous namespace
+} // namespace cpx

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: address mapping, tag stores,
+ * miss classification, backing store, shared heap, write cache and
+ * the first-level cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+#include "mem/flc.hh"
+#include "mem/miss_class.hh"
+#include "mem/shared_heap.hh"
+#include "mem/tag_store.hh"
+#include "mem/write_cache.hh"
+
+namespace cpx
+{
+namespace
+{
+
+TEST(AddressMap, BlockArithmetic)
+{
+    AddressMap amap(32, 4096, 16);
+    EXPECT_EQ(amap.blockAddr(0x1234), 0x1220u);
+    EXPECT_EQ(amap.blockOffset(0x1234), 0x14u);
+    EXPECT_EQ(amap.wordInBlock(0x1234), 5u);
+    EXPECT_TRUE(amap.sameBlock(0x1220, 0x123f));
+    EXPECT_FALSE(amap.sameBlock(0x121f, 0x1220));
+    EXPECT_EQ(amap.wordsPerBlock(), 8u);
+}
+
+TEST(AddressMap, RoundRobinHomePlacement)
+{
+    AddressMap amap(32, 4096, 16);
+    EXPECT_EQ(amap.home(0), 0u);
+    EXPECT_EQ(amap.home(4096), 1u);
+    EXPECT_EQ(amap.home(15 * 4096), 15u);
+    EXPECT_EQ(amap.home(16 * 4096), 0u);  // wraps
+    // Every address within a page has the same home.
+    EXPECT_EQ(amap.home(4096), amap.home(4096 + 4095));
+}
+
+TEST(AddressMapDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(AddressMap(33, 4096, 16),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(AddressMap(32, 16, 16), ::testing::ExitedWithCode(1),
+                "page size");
+    EXPECT_EXIT(AddressMap(32, 4096, 0), ::testing::ExitedWithCode(1),
+                "node");
+}
+
+struct TestLine
+{
+    bool valid = false;
+    int tagValue = 0;
+};
+
+TEST(TagStore, InfiniteNeverEvicts)
+{
+    TagStore<TestLine> tags(32, 0);
+    ASSERT_TRUE(tags.infinite());
+    for (Addr a = 0; a < 100 * 32; a += 32)
+        tags.insert(a);
+    EXPECT_EQ(tags.size(), 100u);
+    for (Addr a = 0; a < 100 * 32; a += 32)
+        EXPECT_NE(tags.find(a), nullptr);
+    auto [victim_addr, victim] = tags.victimFor(12345);
+    EXPECT_EQ(victim, nullptr);
+}
+
+TEST(TagStore, FiniteDirectMappedConflicts)
+{
+    TagStore<TestLine> tags(32, 4);  // 4 sets
+    tags.insert(0);                  // set 0
+    tags.insert(32);                 // set 1
+    EXPECT_NE(tags.find(0), nullptr);
+
+    // 4*32 = 128 maps to set 0 again: conflict with address 0.
+    auto [victim_addr, victim] = tags.victimFor(128);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim_addr, 0u);
+
+    tags.insert(128);
+    EXPECT_EQ(tags.find(0), nullptr);
+    EXPECT_NE(tags.find(128), nullptr);
+    EXPECT_NE(tags.find(32), nullptr);
+}
+
+TEST(TagStore, EraseAndForEach)
+{
+    TagStore<TestLine> tags(32, 0);
+    tags.insert(0)->tagValue = 1;
+    tags.insert(32)->tagValue = 2;
+    tags.erase(0);
+    EXPECT_EQ(tags.find(0), nullptr);
+    int sum = 0;
+    tags.forEach([&](Addr, TestLine &l) { sum += l.tagValue; });
+    EXPECT_EQ(sum, 2);
+}
+
+TEST(TagStore, SubBlockAddressesAlias)
+{
+    TagStore<TestLine> tags(32, 16);
+    tags.insert(0x100);
+    EXPECT_EQ(tags.find(0x100), tags.find(0x11f));
+    EXPECT_EQ(tags.find(0x120), nullptr);
+}
+
+TEST(MissClassifier, ColdThenCauses)
+{
+    MissClassifier mc;
+    EXPECT_EQ(mc.classify(0x100), MissKind::Cold);
+    mc.noteRemoval(0x100, RemovalCause::Invalidation);
+    EXPECT_EQ(mc.classify(0x100), MissKind::Coherence);
+    mc.noteRemoval(0x100, RemovalCause::Replacement);
+    EXPECT_EQ(mc.classify(0x100), MissKind::Replacement);
+    // A second classify without removal keeps the last cause.
+    EXPECT_EQ(mc.classify(0x100), MissKind::Replacement);
+    EXPECT_EQ(mc.classify(0x200), MissKind::Cold);
+    EXPECT_EQ(mc.blocksSeen(), 2u);
+}
+
+TEST(BackingStore, ReadWriteRoundTrip)
+{
+    BackingStore store(4096);
+    store.write32(0x1000, 0xdeadbeef);
+    EXPECT_EQ(store.read32(0x1000), 0xdeadbeefu);
+    store.write64(0x2000, 0x0123456789abcdefull);
+    EXPECT_EQ(store.read64(0x2000), 0x0123456789abcdefull);
+    store.writeDouble(0x3000, 3.14159);
+    EXPECT_DOUBLE_EQ(store.readDouble(0x3000), 3.14159);
+}
+
+TEST(BackingStore, UntouchedMemoryReadsZero)
+{
+    BackingStore store(4096);
+    EXPECT_EQ(store.read32(0x99999), 0u);
+    EXPECT_EQ(store.pagesAllocated(), 0u);
+    store.write32(0x99999, 1);
+    EXPECT_EQ(store.pagesAllocated(), 1u);
+}
+
+TEST(BackingStore, CrossPageAccess)
+{
+    BackingStore store(4096);
+    // A 4-byte value straddling a page boundary.
+    store.write32(4094, 0x11223344);
+    EXPECT_EQ(store.read32(4094), 0x11223344u);
+    EXPECT_EQ(store.pagesAllocated(), 2u);
+}
+
+TEST(SharedHeap, AlignmentAndPlacement)
+{
+    AddressMap amap(32, 4096, 16);
+    SharedHeap heap(amap);
+    Addr a = heap.alloc(10, 8);
+    EXPECT_EQ(a % 8, 0u);
+    Addr b = heap.allocBlockAligned(100);
+    EXPECT_EQ(b % 32, 0u);
+    EXPECT_GE(b, a + 10);
+    Addr lock = heap.allocLock();
+    EXPECT_EQ(lock % 32, 0u);
+}
+
+TEST(SharedHeap, IsolatedAllocationsLeaveAGap)
+{
+    AddressMap amap(32, 4096, 16);
+    SharedHeap heap(amap);
+    Addr a = heap.allocIsolated(4);
+    Addr b = heap.allocIsolated(4);
+    EXPECT_GE(b - a, 16u * 32u);
+}
+
+TEST(SharedHeap, PadToNextPageSteersHomes)
+{
+    AddressMap amap(32, 4096, 16);
+    SharedHeap heap(amap);
+    heap.alloc(100);
+    heap.padToNextPage();
+    Addr a = heap.alloc(4);
+    EXPECT_EQ(a % 4096, 0u);
+}
+
+TEST(WriteCache, CombinesWritesToOneBlock)
+{
+    AddressMap amap(32, 4096, 16);
+    WriteCache wc(amap, 4);
+    WriteCacheFlush victim;
+    EXPECT_FALSE(wc.writeWord(0x100, 1, victim));
+    EXPECT_FALSE(wc.writeWord(0x104, 2, victim));
+    EXPECT_FALSE(wc.writeWord(0x108, 3, victim));
+    EXPECT_EQ(wc.combinedWrites().value(), 2u);
+    EXPECT_EQ(wc.occupancy(), 1u);
+
+    std::uint32_t v = 0;
+    EXPECT_TRUE(wc.readWord(0x104, v));
+    EXPECT_EQ(v, 2u);
+    EXPECT_FALSE(wc.readWord(0x10c, v));  // clean word
+
+    auto flushed = wc.flushAll();
+    ASSERT_EQ(flushed.size(), 1u);
+    EXPECT_EQ(flushed[0].blockAddr, 0x100u);
+    EXPECT_EQ(flushed[0].dirtyWords(), 3u);
+    EXPECT_EQ(flushed[0].words[1], 2u);
+    EXPECT_EQ(wc.occupancy(), 0u);
+}
+
+TEST(WriteCache, VictimizesOnFrameConflict)
+{
+    AddressMap amap(32, 4096, 16);
+    WriteCache wc(amap, 4);
+    WriteCacheFlush victim;
+    EXPECT_FALSE(wc.writeWord(0x000, 7, victim));
+    // 4 frames * 32 bytes = 128; address 0x080 maps to frame 0 too.
+    EXPECT_TRUE(wc.writeWord(0x080, 9, victim));
+    EXPECT_EQ(victim.blockAddr, 0x000u);
+    EXPECT_EQ(victim.words[0], 7u);
+    EXPECT_EQ(wc.victimFlushes().value(), 1u);
+    EXPECT_FALSE(wc.contains(0x000));
+    EXPECT_TRUE(wc.contains(0x080));
+}
+
+TEST(WriteCache, DropRemovesEntry)
+{
+    AddressMap amap(32, 4096, 16);
+    WriteCache wc(amap, 4);
+    WriteCacheFlush victim;
+    wc.writeWord(0x40, 1, victim);
+    wc.drop(0x44);  // any address in the block
+    EXPECT_FALSE(wc.contains(0x40));
+    EXPECT_TRUE(wc.flushAll().empty());
+}
+
+TEST(Flc, WriteThroughNoAllocate)
+{
+    AddressMap amap(32, 4096, 16);
+    Flc flc(amap, 4096);
+    EXPECT_FALSE(flc.writeProbe(0x100));  // miss, no allocation
+    EXPECT_FALSE(flc.readProbe(0x100));
+    flc.fill(0x100);
+    EXPECT_TRUE(flc.readProbe(0x104));   // same block
+    EXPECT_TRUE(flc.writeProbe(0x108));  // write hit
+    flc.invalidate(0x100);
+    EXPECT_FALSE(flc.readProbe(0x100));
+    EXPECT_EQ(flc.readHitCount().value(), 1u);
+    EXPECT_EQ(flc.readMissCount().value(), 2u);
+}
+
+TEST(Flc, DirectMappedCapacityConflicts)
+{
+    AddressMap amap(32, 4096, 16);
+    Flc flc(amap, 128);  // 4 lines
+    flc.fill(0x000);
+    flc.fill(0x080);  // conflicts with 0x000 (4 lines * 32B = 128)
+    EXPECT_FALSE(flc.readProbe(0x000));
+    EXPECT_TRUE(flc.readProbe(0x080));
+}
+
+} // anonymous namespace
+} // namespace cpx

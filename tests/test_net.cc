@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the interconnect models: uniform network latency
+ * and traffic accounting, mesh geometry, dimension-order routing,
+ * flit arithmetic, and per-link contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/mesh.hh"
+#include "net/network.hh"
+
+namespace cpx
+{
+namespace
+{
+
+TEST(UniformNetwork, FixedHopLatency)
+{
+    EventQueue eq;
+    UniformNetwork net(eq, 54, 2);
+    Tick arrival = 0;
+    net.send(0, 5, 32, [&] { arrival = eq.now(); });
+    eq.run();
+    EXPECT_EQ(arrival, 54u);
+}
+
+TEST(UniformNetwork, LocalDeliverySkipsTheHop)
+{
+    EventQueue eq;
+    UniformNetwork net(eq, 54, 2);
+    Tick arrival = 0;
+    net.send(3, 3, 32, [&] { arrival = eq.now(); });
+    eq.run();
+    EXPECT_EQ(arrival, 2u);
+    // Local traffic is not network traffic.
+    EXPECT_EQ(net.totalBytes(), 0u);
+    EXPECT_EQ(net.totalMessages(), 0u);
+}
+
+TEST(UniformNetwork, CountsHeaderPlusPayload)
+{
+    EventQueue eq;
+    UniformNetwork net(eq, 54);
+    net.send(0, 1, 32, [] {});
+    net.send(1, 2, 0, [] {});
+    eq.run();
+    EXPECT_EQ(net.totalMessages(), 2u);
+    EXPECT_EQ(net.totalBytes(), (32u + 8u) + (0u + 8u));
+}
+
+TEST(Mesh, GeometryFor16Nodes)
+{
+    EventQueue eq;
+    MeshNetwork mesh(eq, 16, 64);
+    EXPECT_EQ(mesh.columns(), 4u);
+    EXPECT_EQ(mesh.rows(), 4u);
+}
+
+TEST(Mesh, HopCountIsManhattanDistance)
+{
+    EventQueue eq;
+    MeshNetwork mesh(eq, 16, 64);
+    EXPECT_EQ(mesh.hopCount(0, 0), 0u);
+    EXPECT_EQ(mesh.hopCount(0, 3), 3u);   // same row
+    EXPECT_EQ(mesh.hopCount(0, 12), 3u);  // same column
+    EXPECT_EQ(mesh.hopCount(0, 15), 6u);  // opposite corner
+    EXPECT_EQ(mesh.hopCount(5, 10), 2u);
+}
+
+TEST(Mesh, LatencyGrowsWithDistanceAndShrinkingLinks)
+{
+    auto one_hop_latency = [](NodeId dst, unsigned bits) {
+        EventQueue eq;
+        MeshNetwork mesh(eq, 16, bits);
+        Tick arrival = 0;
+        mesh.send(0, dst, 32, [&] { arrival = eq.now(); });
+        eq.run();
+        return arrival;
+    };
+    // Farther destinations take longer.
+    EXPECT_LT(one_hop_latency(1, 64), one_hop_latency(3, 64));
+    EXPECT_LT(one_hop_latency(3, 64), one_hop_latency(15, 64));
+    // Narrower links take longer for the same payload.
+    EXPECT_LT(one_hop_latency(15, 64), one_hop_latency(15, 16));
+}
+
+TEST(Mesh, FlitCountMatchesLinkWidth)
+{
+    // 32B payload + 8B header = 40 bytes = 320 bits.
+    {
+        EventQueue eq;
+        MeshNetwork mesh(eq, 16, 64);
+        mesh.send(0, 1, 32, [] {});
+        eq.run();
+        EXPECT_EQ(mesh.totalFlits(), 5u);  // 320/64
+    }
+    {
+        EventQueue eq;
+        MeshNetwork mesh(eq, 16, 16);
+        mesh.send(0, 1, 32, [] {});
+        eq.run();
+        EXPECT_EQ(mesh.totalFlits(), 20u);  // 320/16
+    }
+}
+
+TEST(Mesh, ContentionSerializesASharedLink)
+{
+    // Two messages injected simultaneously over the same link: the
+    // second's tail arrives roughly one message-duration later.
+    EventQueue eq;
+    MeshNetwork mesh(eq, 16, 16);
+    Tick first = 0, second = 0;
+    mesh.send(0, 1, 32, [&] { first = eq.now(); });
+    mesh.send(0, 1, 32, [&] { second = eq.now(); });
+    eq.run();
+    EXPECT_GT(second, first);
+    EXPECT_GE(second - first, 20u);  // >= one 20-flit train
+}
+
+TEST(Mesh, DisjointPathsDoNotInterfere)
+{
+    EventQueue eq;
+    MeshNetwork mesh(eq, 16, 16);
+    Tick a = 0, b = 0;
+    mesh.send(0, 1, 32, [&] { a = eq.now(); });
+    mesh.send(4, 5, 32, [&] { b = eq.now(); });
+    eq.run();
+    EXPECT_EQ(a, b);  // same geometry, no shared links
+}
+
+TEST(Mesh, NonSquareNodeCountsGetValidGeometries)
+{
+    EventQueue eq;
+    MeshNetwork mesh6(eq, 6, 32);
+    EXPECT_EQ(mesh6.columns() * mesh6.rows() >= 6, true);
+    // Every pair routes and delivers.
+    unsigned delivered = 0;
+    for (NodeId s = 0; s < 6; ++s)
+        for (NodeId d = 0; d < 6; ++d)
+            mesh6.send(s, d, 16, [&] { ++delivered; });
+    eq.run();
+    EXPECT_EQ(delivered, 36u);
+}
+
+TEST(Mesh, EndToEndOnTinyMachine)
+{
+    // A full protocol run over a 2x2 mesh.
+    EventQueue eq;
+    MeshNetwork mesh(eq, 4, 16);
+    Tick arrival = 0;
+    mesh.send(0, 3, 32, [&] { arrival = eq.now(); });
+    eq.run();
+    EXPECT_GT(arrival, 0u);
+    EXPECT_EQ(mesh.hopCount(0, 3), 2u);
+}
+
+TEST(Mesh, LatencySamplesAccumulate)
+{
+    EventQueue eq;
+    MeshNetwork mesh(eq, 16, 64);
+    mesh.send(0, 15, 32, [] {});
+    mesh.send(0, 1, 32, [] {});
+    eq.run();
+    EXPECT_EQ(mesh.latencyStats().count(), 2u);
+    EXPECT_GT(mesh.latencyStats().max(),
+              mesh.latencyStats().min());
+}
+
+} // anonymous namespace
+} // namespace cpx

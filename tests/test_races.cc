@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Regression tests for protocol races found during bring-up. Each
+ * test pins one failure mode with a deterministic scenario:
+ *
+ *  1. store-to-load forwarding from the FLWB (a processor must see
+ *     its own buffered writes);
+ *  2. the release fence draining the FLWB before the SLWB (a write
+ *     still in the FLWB must not escape a release);
+ *  3. pending-write survival across an invalidated SHARED line when
+ *     a merged write's upgrade is reissued as a write miss;
+ *  4. FLC inclusion with write-cache-served reads (an FLC copy
+ *     without an SLC line must never form);
+ *  5. write-cache absorption into a migratory-exclusive line under
+ *     CW+M (concurrent writers to one block under different locks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "core/system.hh"
+#include "workloads/barrier.hh"
+
+namespace cpx
+{
+namespace
+{
+
+MachineParams
+machine(ProtocolConfig proto)
+{
+    MachineParams params = makeParams(proto);
+    params.numProcs = 8;
+    return params;
+}
+
+TEST(Races, ProcessorSeesItsOwnBufferedWrites)
+{
+    // Under RC a write sits in the FLWB for a while; an immediately
+    // following read of the same word must return the new value.
+    System sys(machine(ProtocolConfig::basic()));
+    Addr a = sys.heap().allocBlockAligned(32);
+    std::vector<std::uint32_t> seen;
+    sys.run([&](Processor &p, unsigned id) {
+        if (id != 0)
+            return;
+        for (std::uint32_t i = 1; i <= 32; ++i) {
+            p.write32(a, i);
+            seen.push_back(p.read32(a));  // no time for the drain
+        }
+    });
+    for (std::uint32_t i = 1; i <= 32; ++i)
+        EXPECT_EQ(seen[i - 1], i);
+}
+
+TEST(Races, ReleaseDrainsTheFlwbFirst)
+{
+    // The lost-update shape: increment under a lock with the write
+    // still in the FLWB at unlock time. Every increment must
+    // survive, under every protocol.
+    for (const ProtocolConfig &proto : figure2Protocols()) {
+        System sys(machine(proto));
+        Addr lock = sys.heap().allocLock();
+        Addr a = sys.heap().allocIsolated(wordBytes);
+        sys.store().write32(a, 0);
+        sys.run([&](Processor &p, unsigned) {
+            for (int i = 0; i < 20; ++i) {
+                p.lock(lock);
+                p.write32(a, p.read32(a) + 1);
+                p.unlock(lock);  // immediately after the write
+            }
+        });
+        sys.flushFunctionalState();
+        EXPECT_EQ(sys.store().read32(a), 160u) << proto.name();
+    }
+}
+
+TEST(Races, MergedWriteSurvivesInvalidationOfItsReadTxn)
+{
+    // Processor 0's write merges into its own outstanding read;
+    // processor 1 races ownership of the same block. Both writes
+    // must land.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        System sys(machine(ProtocolConfig::basic()));
+        Addr a = sys.heap().allocBlockAligned(32);
+        sys.run([&](Processor &p, unsigned id) {
+            if (id == 0) {
+                // Read then immediately write word 0: the write
+                // merges with the outstanding read transaction.
+                p.write32(a, 100);
+            } else if (id == 1) {
+                p.compute(static_cast<Tick>(10 + attempt * 17));
+                p.write32(a + 4, 200);
+            }
+        });
+        sys.flushFunctionalState();
+        EXPECT_EQ(sys.store().read32(a), 100u) << attempt;
+        EXPECT_EQ(sys.store().read32(a + 4), 200u) << attempt;
+    }
+}
+
+TEST(Races, FlcNeverOutlivesTheSlcLine)
+{
+    // Hammer one block from all 8 processors under every protocol
+    // and verify the per-word sums: any FLC-inclusion hole shows up
+    // as a lost or duplicated increment.
+    for (const ProtocolConfig &proto : figure2Protocols()) {
+        System sys(machine(proto));
+        Addr base = sys.heap().allocBlockAligned(32);
+        std::vector<Addr> locks(8);
+        for (unsigned w = 0; w < 8; ++w) {
+            locks[w] = sys.heap().allocLock();
+            sys.store().write32(base + w * 4, 0);
+        }
+        const unsigned iters = 24;
+        sys.run([&](Processor &p, unsigned id) {
+            for (unsigned i = 0; i < iters; ++i) {
+                unsigned w = (id + i) % 8;
+                p.lock(locks[w]);
+                p.write32(base + w * 4,
+                          p.read32(base + w * 4) + 1);
+                p.unlock(locks[w]);
+                p.compute(7);
+            }
+        });
+        sys.flushFunctionalState();
+        std::uint64_t total = 0;
+        for (unsigned w = 0; w < 8; ++w)
+            total += sys.store().read32(base + w * 4);
+        EXPECT_EQ(total, 8u * iters) << proto.name();
+    }
+}
+
+TEST(Races, WriteCacheAbsorbedByMigratoryExclusiveLine)
+{
+    // The water-shaped CW+M failure: items of three doubles span
+    // block boundaries, per-item locks, concurrent writers in one
+    // block. Integer-valued doubles make verification exact.
+    System sys(machine(ProtocolConfig::cwm()));
+    const unsigned n = 16, steps = 3;
+    SimBarrier barrier;
+    barrier.init(sys, 8);
+    Addr force = sys.heap().allocBlockAligned(n * 3 * 8);
+    std::vector<Addr> locks(n);
+    for (unsigned i = 0; i < n; ++i)
+        locks[i] = sys.heap().allocLock();
+    for (unsigned i = 0; i < n * 3; ++i)
+        sys.store().writeDouble(force + i * 8, 0.0);
+
+    std::vector<double> host(n * 3, 0.0);
+    for (unsigned s = 0; s < steps; ++s)
+        for (unsigned i = 0; i < n; ++i)
+            for (unsigned j = i + 1; j < n; ++j)
+                for (unsigned d = 0; d < 3; ++d) {
+                    host[i * 3 + d] += 1.0;
+                    host[j * 3 + d] -= 1.0;
+                }
+
+    sys.run([&](Processor &p, unsigned id) {
+        for (unsigned s = 0; s < steps; ++s) {
+            for (unsigned i = id; i < n; i += 8) {
+                for (unsigned d = 0; d < 3; ++d)
+                    (void)p.readDouble(force + (i * 3 + d) * 8);
+            }
+            barrier.wait(p, id);
+            for (unsigned i = id; i < n; i += 8) {
+                for (unsigned j = i + 1; j < n; ++j) {
+                    p.lock(locks[i]);
+                    for (unsigned d = 0; d < 3; ++d) {
+                        Addr w = force + (i * 3 + d) * 8;
+                        p.writeDouble(w, p.readDouble(w) + 1.0);
+                    }
+                    p.unlock(locks[i]);
+                    p.lock(locks[j]);
+                    for (unsigned d = 0; d < 3; ++d) {
+                        Addr w = force + (j * 3 + d) * 8;
+                        p.writeDouble(w, p.readDouble(w) - 1.0);
+                    }
+                    p.unlock(locks[j]);
+                }
+            }
+            barrier.wait(p, id);
+        }
+    });
+    sys.flushFunctionalState();
+    for (unsigned i = 0; i < n * 3; ++i)
+        EXPECT_EQ(sys.store().readDouble(force + i * 8), host[i])
+            << "word " << i;
+}
+
+TEST(Races, BarrierSenseFlipPropagatesUnderCw)
+{
+    // The CW deadlock shape: without release semantics on the sense
+    // write, spinners never observe the flip. A bounded-time run
+    // through many barriers proves liveness.
+    System sys(machine(ProtocolConfig::cw()));
+    SimBarrier barrier;
+    barrier.init(sys, 8);
+    std::vector<unsigned> reached(8, 0);
+    Tick t = sys.run(
+        [&](Processor &p, unsigned id) {
+            for (unsigned i = 0; i < 50; ++i) {
+                p.compute(10 + id);
+                barrier.wait(p, id);
+                reached[id] = i + 1;
+            }
+        },
+        /*limit=*/50'000'000);
+    EXPECT_GT(t, 0u);
+    for (unsigned id = 0; id < 8; ++id)
+        EXPECT_EQ(reached[id], 50u);
+}
+
+} // anonymous namespace
+} // namespace cpx

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * cpxsim — the command-line simulator driver.
+ *
+ * Runs any workload on any machine configuration and prints the run
+ * summary, optionally followed by the full gem5-style statistics
+ * dump. This is the entry point a downstream user scripts against.
+ *
+ *   cpxsim --app=mp3d --protocol=P+CW --consistency=rc \
+ *          --network=mesh32 --procs=16 --scale=1.0 --stats
+ *
+ * Options:
+ *   --app=NAME          mp3d | cholesky | water | lu | ocean |
+ *                       migratory | producer_consumer | readonly |
+ *                       false_sharing             (default mp3d)
+ *   --protocol=COMBO    BASIC, P, CW, M, P+CW, P+M, CW+M, P+CW+M
+ *   --consistency=MODEL rc | sc                    (default rc)
+ *   --network=KIND      uniform | mesh16|mesh32|mesh64 (default uniform)
+ *   --procs=N           processors                 (default 16)
+ *   --scale=F           problem-size multiplier    (default 1.0)
+ *   --slc=BYTES         finite SLC size, 0=infinite (default 0)
+ *   --threshold=N       competitive threshold      (default 1)
+ *   --no-write-cache    plain competitive update [10]
+ *   --flwb=N --slwb=N   write buffer entries
+ *   --stats             dump all component statistics
+ *   --trace=TAGS        comma-separated debug tags (SLC,Dir) to stderr
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/config.hh"
+#include "core/report.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace cpx;
+
+ProtocolConfig
+parseProtocol(const std::string &name)
+{
+    for (const ProtocolConfig &proto : figure2Protocols())
+        if (proto.name() == name)
+            return proto;
+    fatal("unknown protocol '%s' (try BASIC, P, CW, M, P+CW, P+M, "
+          "CW+M, P+CW+M)",
+          name.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpx;
+
+    std::string app = "mp3d";
+    std::string protocol = "BASIC";
+    std::string consistency = "rc";
+    std::string network = "uniform";
+    double scale = 1.0;
+    bool dump_stats = false;
+    MachineParams params;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg](const char *key) -> const char * {
+            std::size_t n = std::strlen(key);
+            if (arg.compare(0, n, key) == 0)
+                return arg.c_str() + n;
+            return nullptr;
+        };
+        if (const char *v = value("--app="))
+            app = v;
+        else if (const char *v = value("--protocol="))
+            protocol = v;
+        else if (const char *v = value("--consistency="))
+            consistency = v;
+        else if (const char *v = value("--network="))
+            network = v;
+        else if (const char *v = value("--procs="))
+            params.numProcs = static_cast<unsigned>(std::atoi(v));
+        else if (const char *v = value("--scale="))
+            scale = std::atof(v);
+        else if (const char *v = value("--slc="))
+            params.slcBytes = static_cast<unsigned>(std::atoi(v));
+        else if (const char *v = value("--threshold="))
+            params.competitiveThreshold =
+                static_cast<unsigned>(std::atoi(v));
+        else if (arg == "--no-write-cache")
+            params.writeCacheEnabled = false;
+        else if (const char *v = value("--flwb="))
+            params.flwbEntries = static_cast<unsigned>(std::atoi(v));
+        else if (const char *v = value("--slwb="))
+            params.slwbEntries = static_cast<unsigned>(std::atoi(v));
+        else if (arg == "--stats")
+            dump_stats = true;
+        else if (const char *v = value("--trace=")) {
+            std::string tags = v;
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                std::size_t comma = tags.find(',', pos);
+                Logger::enable(tags.substr(
+                    pos, comma == std::string::npos ? comma
+                                                    : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else {
+            fatal("unknown option '%s' (see the header of "
+                  "tools/cpxsim.cc)",
+                  arg.c_str());
+        }
+    }
+
+    params.protocol = parseProtocol(protocol);
+    params.consistency = consistency == "sc"
+                             ? Consistency::SequentialConsistency
+                             : Consistency::ReleaseConsistency;
+    if (network.rfind("mesh", 0) == 0) {
+        params.networkKind = NetworkKind::Mesh;
+        if (network.size() > 4)
+            params.meshLinkBits =
+                static_cast<unsigned>(std::atoi(network.c_str() + 4));
+    }
+    params.applyConsistencyDefaults();
+
+    System sys(params);
+    auto workload = makeWorkload(app, scale);
+    WorkloadRun run = runWorkload(sys, *workload);
+    RunResult &r = run.stats;
+
+    std::printf("app            %s (scale %.2f)\n", app.c_str(),
+                scale);
+    std::printf("machine        %u procs, %s, %s, %s network\n",
+                params.numProcs, r.protocol.c_str(),
+                r.consistency.c_str(), network.c_str());
+    std::printf("verified       %s\n", run.verified ? "yes" : "NO");
+    std::printf("execution time %llu pclocks (%.2f ms at 100 MHz)\n",
+                static_cast<unsigned long long>(run.execTime),
+                run.execTime / 100000.0);
+    std::printf("time breakdown busy %.0f | read %.0f | write %.0f | "
+                "acquire %.0f | release %.0f\n",
+                r.busy, r.readStall, r.writeStall, r.acquireStall,
+                r.releaseStall);
+    std::printf("miss rates     cold %.3f%%  coherence %.3f%%\n",
+                r.coldMissRate(), r.cohMissRate());
+    std::printf("network        %llu bytes in %llu messages\n",
+                static_cast<unsigned long long>(r.netBytes),
+                static_cast<unsigned long long>(r.netMessages));
+
+    if (dump_stats) {
+        std::printf("\n---------- statistics dump ----------\n%s",
+                    formatSystemStats(sys).c_str());
+    }
+    return run.verified ? 0 : 1;
+}
