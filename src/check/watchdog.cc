@@ -1,0 +1,66 @@
+#include "check/watchdog.hh"
+
+#include <cstdio>
+
+#include "core/diagnostics.hh"
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+Watchdog::Watchdog(System &sys_, Options opts_)
+    : sys(sys_), opts(opts_)
+{
+    if (opts.interval == 0)
+        fatal("watchdog interval must be non-zero");
+}
+
+Watchdog::Watchdog(System &sys_) : Watchdog(sys_, Options()) {}
+
+void
+Watchdog::arm()
+{
+    lastExecuted = sys.eq().executed();
+    sys.eq().scheduleIn(opts.interval, [this] { sample(); });
+}
+
+void
+Watchdog::sample()
+{
+    ++sampleCount;
+
+    bool all_finished = true;
+    for (NodeId n = 0; n < sys.params().numProcs; ++n) {
+        if (!sys.processor(n).finished()) {
+            all_finished = false;
+            break;
+        }
+    }
+    if (all_finished)
+        return;  // run is wrapping up; stop sampling
+
+    const std::uint64_t executed = sys.eq().executed();
+    // `executed` includes this very sample event, so a delta of one
+    // means nothing but the heartbeat ran: the machine is wedged.
+    if (executed - lastExecuted <= 1)
+        ++idleSamples;
+    else
+        idleSamples = 0;
+    lastExecuted = executed;
+
+    if (idleSamples >= opts.stallIntervals) {
+        fired_ = true;
+        std::fputs(formatStallDiagnostics(sys).c_str(), stderr);
+        if (opts.abortOnStall) {
+            panic("watchdog: no progress for %u x %llu ticks with "
+                  "unfinished processors (stall diagnostics above)",
+                  opts.stallIntervals,
+                  static_cast<unsigned long long>(opts.interval));
+        }
+        return;  // recorded; stop sampling so the queue can drain
+    }
+
+    sys.eq().scheduleIn(opts.interval, [this] { sample(); });
+}
+
+} // namespace cpx

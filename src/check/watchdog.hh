@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Progress watchdog for long or wedged runs.
+ *
+ * The simulator is purely event-driven, so forward progress is
+ * exactly "events execute". The watchdog schedules itself every
+ * `interval` ticks and compares the event queue's executed count with
+ * the previous sample. If, for `stallIntervals` consecutive samples,
+ * the only event that ran was the watchdog's own — while processors
+ * are still unfinished — the run is permanently stalled (a livelock
+ * would still execute events; a deadlock executes none), and the
+ * watchdog prints the structured diagnostics dump from
+ * core/diagnostics and aborts (or just records, for the tests).
+ *
+ * Note the complementary roles: System::run() diagnoses a run whose
+ * event queue *drains* with suspended processors; the watchdog
+ * catches a run that stops progressing while events (e.g. its own
+ * heartbeat, or an unrelated spinner) keep the queue alive, and it
+ * reports *at the moment of the stall* instead of after a tick limit
+ * expires.
+ */
+
+#ifndef CPX_CHECK_WATCHDOG_HH
+#define CPX_CHECK_WATCHDOG_HH
+
+#include <cstdint>
+
+#include "core/system.hh"
+
+namespace cpx
+{
+
+class Watchdog
+{
+  public:
+    struct Options
+    {
+        /** Ticks between progress samples. */
+        Tick interval = 100'000;
+
+        /** Consecutive no-progress samples before declaring a stall. */
+        unsigned stallIntervals = 2;
+
+        /** panic() on stall (CLI); off, the tests probe fired(). */
+        bool abortOnStall = true;
+    };
+
+    Watchdog(System &sys, Options opts);
+    explicit Watchdog(System &sys);
+
+    /**
+     * Start sampling. Call before System::run(); the first sample
+     * fires `interval` ticks into the run. The watchdog stops
+     * rescheduling itself once every processor has finished, so it
+     * never keeps the event queue alive artificially.
+     */
+    void arm();
+
+    /** Samples taken so far. */
+    std::uint64_t samples() const { return sampleCount; }
+
+    /** True once a stall was detected (abortOnStall off). */
+    bool fired() const { return fired_; }
+
+  private:
+    void sample();
+
+    System &sys;
+    Options opts;
+    std::uint64_t lastExecuted = 0;
+    unsigned idleSamples = 0;
+    std::uint64_t sampleCount = 0;
+    bool fired_ = false;
+};
+
+} // namespace cpx
+
+#endif // CPX_CHECK_WATCHDOG_HH

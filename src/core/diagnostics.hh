@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Structured protocol-state diagnostics for wedged runs.
+ *
+ * When a run stalls — a deadlocked workload drains the event queue
+ * with processors still suspended, or the tick limit cuts a livelock
+ * short — a one-line panic tells you nothing about *why*. This dump
+ * walks the whole machine and reports, per node, the outstanding SLC
+ * transactions (with ages), write-buffer and write-cache occupancy,
+ * the directory blocks mid-transaction with their service-queue
+ * depths and entry state, and every held lock with its waiter queue,
+ * plus event-queue statistics — everything needed to reconstruct the
+ * protocol-level wait cycle.
+ *
+ * System::run() prints this automatically when processors fail to
+ * finish; the Watchdog (src/check) prints it when it detects a stall
+ * mid-run.
+ */
+
+#ifndef CPX_CORE_DIAGNOSTICS_HH
+#define CPX_CORE_DIAGNOSTICS_HH
+
+#include <string>
+
+#include "core/system.hh"
+
+namespace cpx
+{
+
+/** Render the full stall-diagnostic report for @p sys. */
+std::string formatStallDiagnostics(System &sys);
+
+} // namespace cpx
+
+#endif // CPX_CORE_DIAGNOSTICS_HH

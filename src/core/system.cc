@@ -1,5 +1,9 @@
 #include "core/system.hh"
 
+#include <cstdio>
+
+#include "core/diagnostics.hh"
+#include "net/chaos_network.hh"
 #include "sim/logging.hh"
 
 namespace cpx
@@ -36,6 +40,15 @@ System::System(const MachineParams &machine_params)
       }
     }
 
+    if (params_.chaos.enabled) {
+        // Fault injection: wrap the timing model in the jittering
+        // decorator. Traffic accounting moves to the wrapper (it is
+        // what send() runs on); mesh link stats stay on the inner
+        // model, still reachable through meshPtr.
+        network = std::make_unique<ChaosNetwork>(
+            eventQueue, std::move(network), params_.chaos);
+    }
+
     nodes.reserve(params_.numProcs);
     for (NodeId n = 0; n < params_.numProcs; ++n)
         nodes.push_back(std::make_unique<Node>(n, *this));
@@ -62,8 +75,12 @@ System::run(const std::function<void(Processor &, unsigned)> &body,
     for (NodeId n = 0; n < params_.numProcs; ++n) {
         const Processor &p = nodes[n]->proc;
         if (!p.finished()) {
+            // Dump the full protocol state before dying: a bare
+            // panic on a wedged run hides the wait cycle.
+            std::fputs(formatStallDiagnostics(*this).c_str(), stderr);
             panic("processor %u did not finish (deadlock or tick "
-                  "limit %llu reached at t=%llu; %zu events pending)",
+                  "limit %llu reached at t=%llu; %zu events pending; "
+                  "diagnostics above)",
                   n, static_cast<unsigned long long>(limit),
                   static_cast<unsigned long long>(eventQueue.now()),
                   eventQueue.pending());
@@ -76,6 +93,8 @@ System::run(const std::function<void(Processor &, unsigned)> &body,
 void
 System::flushFunctionalState()
 {
+    if (ProtocolObserver *obs = observer())
+        obs->onBeforeFunctionalFlush();
     for (auto &n : nodes)
         n->slc.flushFunctionalState();
 }

@@ -1,0 +1,42 @@
+#include "net/chaos_network.hh"
+
+namespace cpx
+{
+
+ChaosNetwork::ChaosNetwork(EventQueue &event_queue,
+                           std::unique_ptr<Network> inner,
+                           const ChaosParams &chaos)
+    : Network(event_queue), inner_(std::move(inner)), cfg(chaos),
+      rng(chaos.seed)
+{
+}
+
+Tick
+ChaosNetwork::route(NodeId src, NodeId dst, unsigned total_bytes)
+{
+    Tick arrival = inner_->route(src, dst, total_bytes);
+    if (src == dst)
+        return arrival;  // node-local: never crosses the network
+
+    Tick jitter = cfg.maxJitter ? rng.below(cfg.maxJitter + 1) : 0;
+    if (cfg.spikePercent && rng.below(100) < cfg.spikePercent)
+        jitter += 10 * cfg.maxJitter;
+    jitterTicks += jitter;
+    arrival += jitter;
+
+    std::uint64_t pair = (std::uint64_t(src) << 32) | dst;
+    Tick &last = lastArrival[pair];
+    if (arrival < last) {
+        if (cfg.preservePairFifo) {
+            ++clamps;
+            arrival = last;
+        } else {
+            ++reordered;
+        }
+    }
+    if (arrival > last)
+        last = arrival;
+    return arrival;
+}
+
+} // namespace cpx

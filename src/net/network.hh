@@ -82,13 +82,15 @@ class Network
 
     const Accumulator &latencyStats() const { return latency; }
 
-  protected:
     /**
      * Model-specific routing: return the absolute arrival tick of a
      * @p total_bytes message from @p src to @p dst injected now.
+     * Public so that decorators (ChaosNetwork) can delegate to the
+     * model they wrap; everything else goes through send().
      */
     virtual Tick route(NodeId src, NodeId dst, unsigned total_bytes) = 0;
 
+  protected:
     EventQueue &eq;
 
   private:
@@ -112,7 +114,6 @@ class UniformNetwork : public Network
           localLatency(local_latency)
     {}
 
-  protected:
     Tick
     route(NodeId src, NodeId dst, unsigned) override
     {

@@ -112,6 +112,11 @@ DirectoryController::finish(Addr block, Entry &e)
 {
     e.inService = false;
     e.txn.reset();
+    // Notify before startNext(): the observer sees the stable window
+    // between transactions (startNext marks the block in service
+    // again, which makes the checker skip it).
+    if (ProtocolObserver *obs = fabric.observer())
+        obs->onDirectoryTransition(self, block);
     if (!e.queue.empty())
         startNext(block);
 }
@@ -683,6 +688,38 @@ DirectoryController::blocksInService() const
         if (e.inService)
             ++n;
     return n;
+}
+
+std::vector<Addr>
+DirectoryController::knownBlocks() const
+{
+    std::vector<Addr> blocks;
+    blocks.reserve(entries.size());
+    for (const auto &[addr, e] : entries)
+        blocks.push_back(addr);
+    return blocks;
+}
+
+std::vector<DirectoryController::ServiceDump>
+DirectoryController::inServiceDump() const
+{
+    std::vector<ServiceDump> dumps;
+    for (const auto &[addr, e] : entries) {
+        if (!e.inService)
+            continue;
+        ServiceDump d;
+        d.block = addr;
+        if (e.txn) {
+            d.requester = e.txn->requester;
+            d.pendingAcks = e.txn->pendingAcks;
+        }
+        d.queueDepth = e.queue.size();
+        d.modified = e.modified;
+        d.owner = e.owner;
+        d.presence = e.presence;
+        dumps.push_back(d);
+    }
+    return dumps;
 }
 
 } // namespace cpx

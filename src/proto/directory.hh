@@ -85,6 +85,24 @@ class DirectoryController
     /** Number of blocks currently mid-transaction (0 at quiescence). */
     std::size_t blocksInService() const;
 
+    /** Every block address with directory state (invariant sweeps). */
+    std::vector<Addr> knownBlocks() const;
+
+    /** Diagnostic view of one in-service block (stall dumps). */
+    struct ServiceDump
+    {
+        Addr block = 0;
+        NodeId requester = invalidNode;
+        unsigned pendingAcks = 0;
+        std::size_t queueDepth = 0;
+        bool modified = false;
+        NodeId owner = invalidNode;
+        std::uint64_t presence = 0;
+    };
+
+    /** All blocks currently mid-transaction, with queue depths. */
+    std::vector<ServiceDump> inServiceDump() const;
+
     // --- statistics ---------------------------------------------------------
     std::uint64_t readRequests() const { return statReads.value(); }
     std::uint64_t ownershipRequests() const {

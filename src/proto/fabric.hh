@@ -44,6 +44,38 @@ class ProcessorIface
     virtual void onReleaseAck(Addr lock_addr) = 0;
 };
 
+/**
+ * Passive hook into protocol activity, used by the stress-testing
+ * subsystem (src/check): the CoherenceChecker implements this to
+ * validate protocol invariants after every state transition. No
+ * observer is installed in normal runs; the agents guard each
+ * notification with a single inline null check, so the hooks are
+ * free when unused.
+ */
+class ProtocolObserver
+{
+  public:
+    virtual ~ProtocolObserver() = default;
+
+    /** The directory entry for @p block changed at its home. */
+    virtual void onDirectoryTransition(NodeId home, Addr block) = 0;
+
+    /** The SLC line state or contents for @p block changed. */
+    virtual void onSlcTransition(NodeId node, Addr block) = 0;
+
+    /** A protocol message from @p src was delivered at @p dst. */
+    virtual void onMessageDelivered(NodeId src, NodeId dst) = 0;
+
+    /**
+     * The end-of-run functional flush is about to push cached dirty
+     * data (including buffered write-cache words) into the backing
+     * store. This is the last moment at which cached copies and
+     * memory are comparable; afterwards data-value invariants no
+     * longer hold by construction.
+     */
+    virtual void onBeforeFunctionalFlush() {}
+};
+
 class Fabric
 {
   public:
@@ -62,6 +94,15 @@ class Fabric
 
     /** The node-local split-transaction bus. */
     virtual Resource &bus(NodeId node) = 0;
+
+    /** The installed protocol observer, or nullptr (the usual case). */
+    ProtocolObserver *observer() const { return observer_; }
+
+    /** Install (or, with nullptr, remove) a protocol observer. */
+    void setObserver(ProtocolObserver *obs) { observer_ = obs; }
+
+  private:
+    ProtocolObserver *observer_ = nullptr;
 };
 
 } // namespace cpx

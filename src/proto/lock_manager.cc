@@ -80,4 +80,14 @@ LockManager::heldLocks() const
     return n;
 }
 
+std::vector<LockManager::LockDump>
+LockManager::heldLockDump() const
+{
+    std::vector<LockDump> dumps;
+    for (const auto &[addr, ls] : lockStates)
+        if (ls.held)
+            dumps.push_back({addr, ls.holder, ls.waiters.size()});
+    return dumps;
+}
+
 } // namespace cpx

@@ -15,6 +15,7 @@
 
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "proto/fabric.hh"
 #include "sim/stats.hh"
@@ -48,6 +49,17 @@ class LockManager
 
     /** Locks currently held (for invariant checks in tests). */
     std::size_t heldLocks() const;
+
+    /** Diagnostic view of one held lock (stall dumps). */
+    struct LockDump
+    {
+        Addr addr = 0;
+        NodeId holder = invalidNode;
+        std::size_t waiters = 0;
+    };
+
+    /** All currently held locks with their waiter counts. */
+    std::vector<LockDump> heldLockDump() const;
 
   private:
     struct LockState

@@ -43,8 +43,10 @@ sendProtocolMessage(Fabric &fabric, NodeId src, NodeId dst,
                 [&fabric, src, dst, payload, bus_xfer, klass,
                  cb = std::move(at_dst)]() mutable {
         fabric.net().send(src, dst, payload,
-                          [&fabric, dst, bus_xfer,
+                          [&fabric, src, dst, bus_xfer,
                            cb = std::move(cb)]() mutable {
+            if (ProtocolObserver *obs = fabric.observer())
+                obs->onMessageDelivered(src, dst);
             Tick s = fabric.bus(dst).reserve(fabric.eq().now(),
                                              bus_xfer);
             fabric.eq().schedule(s + bus_xfer, std::move(cb));

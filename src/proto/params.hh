@@ -68,6 +68,36 @@ enum class NetworkKind
 };
 
 /**
+ * Fault-injection configuration for the ChaosNetwork decorator
+ * (src/net/chaos_network.hh). Disabled by default; the stress
+ * harness enables it to drive the per-block transient-state queues
+ * through message interleavings the timing models never produce.
+ */
+struct ChaosParams
+{
+    bool enabled = false;
+
+    /** Seed for the jitter stream; equal seeds replay exactly. */
+    std::uint64_t seed = 1;
+
+    /** Uniform extra delay in [0, maxJitter] pclocks per message. */
+    Tick maxJitter = 64;
+
+    /** Percent chance of a 10x maxJitter delay spike. */
+    unsigned spikePercent = 2;
+
+    /**
+     * Keep each (src, dst) pair FIFO by clamping jittered arrivals
+     * to be no earlier than the pair's previous delivery. The
+     * protocol *depends* on pairwise ordering (a directory re-grant
+     * overtaken by a later fetch to the same node manufactures two
+     * exclusive copies — see DESIGN.md), so this defaults to on;
+     * turn it off to explore what breaks.
+     */
+    bool preservePairFifo = true;
+};
+
+/**
  * Complete machine description. All latencies in pclocks
  * (1 pclock = 10 ns at the paper's 100 MHz).
  */
@@ -96,6 +126,7 @@ struct MachineParams
     NetworkKind networkKind = NetworkKind::Uniform;
     Tick uniformHopLatency = 54;   //!< paper's node-to-node latency
     unsigned meshLinkBits = 64;    //!< 64 / 32 / 16 in Table 3
+    ChaosParams chaos;             //!< fault injection (stress runs)
 
     // --- consistency -----------------------------------------------------
     Consistency consistency = Consistency::ReleaseConsistency;

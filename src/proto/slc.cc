@@ -42,6 +42,13 @@ SlcController::SlcController(NodeId node, Fabric &f, Flc &flc_ref)
 // --------------------------------------------------------------------------
 
 void
+SlcController::notifyObserver(Addr block)
+{
+    if (ProtocolObserver *obs = fabric.observer())
+        obs->onSlcTransition(self, block);
+}
+
+void
 SlcController::withPort(Callback fn)
 {
     Tick start = port.reserve(fabric.eq().now(),
@@ -111,6 +118,7 @@ SlcController::removeLine(Addr block, RemovalCause cause)
     classifier.noteRemoval(block, cause);
     tags.erase(block);
     flc.invalidate(block);
+    notifyObserver(block);
 }
 
 void
@@ -146,6 +154,26 @@ SlcController::maybeFinishRelease()
         cb();
 }
 
+std::vector<SlcController::TxnDump>
+SlcController::pendingTransactionDump() const
+{
+    auto kind_name = [](Txn::Kind k) {
+        switch (k) {
+          case Txn::Kind::Read:      return "Read";
+          case Txn::Kind::Prefetch:  return "Prefetch";
+          case Txn::Kind::WriteMiss: return "WriteMiss";
+          case Txn::Kind::Upgrade:   return "Upgrade";
+          case Txn::Kind::Update:    return "Update";
+        }
+        return "?";
+    };
+    std::vector<TxnDump> dumps;
+    dumps.reserve(txns.size());
+    for (const auto &[block, txn] : txns)
+        dumps.push_back({block, kind_name(txn.kind), txn.start});
+    return dumps;
+}
+
 std::uint64_t
 SlcController::totalReadMisses() const
 {
@@ -160,10 +188,18 @@ SlcController::totalReadMisses() const
 std::uint32_t
 SlcController::read32Value(Addr a) const
 {
-    if (params.protocol.compUpdate && params.writeCacheEnabled) {
+    if (params.protocol.compUpdate) {
         std::uint32_t v;
-        if (writeCache.readWord(a, v))
+        if (params.writeCacheEnabled && writeCache.readWord(a, v))
             return v;
+        auto pit = pendingFlushes.find(tags.align(a));
+        if (pit != pendingFlushes.end()) {
+            unsigned w = fabric.amap().wordInBlock(a);
+            for (auto r = pit->second.rbegin();
+                 r != pit->second.rend(); ++r)
+                if (r->dirtyMask & (1u << w))
+                    return r->words[w];
+        }
     }
     if (const Line *line = tags.find(a))
         return line->data[fabric.amap().wordInBlock(a)];
@@ -273,7 +309,8 @@ SlcController::issuePrefetches(Addr demand_block)
         if (txns.count(pblock))
             continue;
         if (params.protocol.compUpdate && params.writeCacheEnabled &&
-            writeCache.contains(pblock))
+            (writeCache.contains(pblock) ||
+             pendingFlushes.count(pblock)))
             continue;
         if (slwbUsed >= params.slwbEntries)
             break;  // no SLWB room: drop remaining prefetches
@@ -347,6 +384,7 @@ SlcController::handleWrite(Addr a, std::uint64_t value, unsigned bytes,
             apply_to_line(line);
             line->locallyModified = true;
             line->compCounter = params.competitiveThreshold;
+            notifyObserver(block);
             done();
             return;
         }
@@ -381,6 +419,7 @@ SlcController::handleWrite(Addr a, std::uint64_t value, unsigned bytes,
                 }
                 startUpdateFlush(rec);
             }
+            notifyObserver(block);
             done();
             return;
         }
@@ -479,28 +518,29 @@ void
 SlcController::startUpdateFlush(const WriteCacheFlush &rec)
 {
     ++writeClassOutstanding;
-    auto it = txns.find(rec.blockAddr);
+    Addr block = rec.blockAddr;
+    auto it = txns.find(block);
     if (it != txns.end()) {
         // An earlier transaction for the block is still in flight
         // (e.g. a previous flush or a demand fetch): chain behind it.
-        it->second.continuations.push_back([this, rec] {
-            --writeClassOutstanding;  // re-counted by the retry
-            startUpdateFlush(rec);
-        });
+        // The record is parked in pendingFlushes — not captured in
+        // the closure — so fills and reads of the block keep seeing
+        // its words while it waits.
+        pendingFlushes[block].push_back(rec);
+        it->second.continuations.push_back(
+            [this, block] { retryPendingFlush(block); });
         return;
     }
     if (slwbUsed >= params.slwbEntries) {
         // Retry from scratch when an entry frees: a transaction for
         // this block may have appeared in the meantime.
-        slwbWaiters.push_back([this, rec] {
-            --writeClassOutstanding;  // re-counted by the retry
-            startUpdateFlush(rec);
-        });
+        pendingFlushes[block].push_back(rec);
+        slwbWaiters.push_back(
+            [this, block] { retryPendingFlush(block); });
         return;
     }
     createTxn(rec.blockAddr, Txn::Kind::Update);
     NodeId from = self;
-    Addr block = rec.blockAddr;
     std::uint32_t mask = rec.dirtyMask;
     std::vector<std::uint32_t> words = rec.words;
     sendToHome(block, msg_bytes::update(rec.dirtyWords()),
@@ -508,6 +548,20 @@ SlcController::startUpdateFlush(const WriteCacheFlush &rec)
                 words = std::move(words)](DirectoryController &dir) {
         dir.onUpdateReq(block, from, mask, words);
     });
+}
+
+void
+SlcController::retryPendingFlush(Addr block)
+{
+    auto it = pendingFlushes.find(block);
+    if (it == pendingFlushes.end())
+        return;  // already re-issued by an earlier wakeup
+    WriteCacheFlush rec = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty())
+        pendingFlushes.erase(it);
+    --writeClassOutstanding;  // re-counted by startUpdateFlush
+    startUpdateFlush(rec);
 }
 
 void
@@ -525,7 +579,7 @@ SlcController::softwarePrefetch(Addr a, bool exclusive)
         if (txns.count(block))
             return;  // already being fetched
         if (params.protocol.compUpdate && params.writeCacheEnabled &&
-            writeCache.contains(a))
+            (writeCache.contains(a) || pendingFlushes.count(block)))
             return;
         if (slwbUsed >= params.slwbEntries)
             return;  // prefetches are droppable
@@ -595,6 +649,24 @@ SlcController::installLine(Addr block, const Txn &txn, ReplyKind kind)
         line->data[word] = value;
 
     if (params.protocol.compUpdate) {
+        // A flush record parked between write cache and Update
+        // transaction (SLWB pressure) still holds words the home has
+        // not seen: they must land in the fill, or an exclusive
+        // grant would install stale memory data and the node's own
+        // eventual update — which the home never sends back to the
+        // writer — would leave this copy stale forever. The record
+        // stays parked: home and peers still need the update.
+        auto pit = pendingFlushes.find(block);
+        if (pit != pendingFlushes.end()) {
+            for (const WriteCacheFlush &rec : pit->second) {
+                for (unsigned w = 0; w < line->data.size(); ++w) {
+                    if (rec.dirtyMask & (1u << w)) {
+                        line->data[w] = rec.words[w];
+                        line->locallyModified = true;
+                    }
+                }
+            }
+        }
         // Words buffered in the write cache while the block was
         // absent must be visible in the installed line: once the
         // write-cache entry flushes to a block we hold exclusively
@@ -691,6 +763,7 @@ SlcController::onReply(Addr block, ReplyKind kind)
             break;
         }
 
+        notifyObserver(block);
         releaseSlwb();
         if (isWriteClass(txn.kind))
             --writeClassOutstanding;
@@ -735,9 +808,16 @@ SlcController::startPreCountedUpgrade(
     }
 
     if (slwbUsed >= params.slwbEntries) {
+        // The installed line may already carry the merged write
+        // values; record the obligation so the block keeps reading
+        // as mid-transaction (hasPendingTransaction) while we wait.
+        ++deferredUpgrades[block];
         slwbWaiters.push_back(
             [this, block, waiters = std::move(waiters),
              pending = std::move(pending_writes)]() mutable {
+            auto dit = deferredUpgrades.find(block);
+            if (dit != deferredUpgrades.end() && --dit->second == 0)
+                deferredUpgrades.erase(dit);
             startPreCountedUpgrade(block, std::move(waiters),
                                    std::move(pending));
         });
@@ -795,6 +875,7 @@ SlcController::onFetch(Addr block, NodeId home, bool invalidate)
             } else {
                 line->state = LineState::Shared;
                 line->locallyModified = false;
+                notifyObserver(block);
             }
         }
         NodeId from = self;
@@ -839,6 +920,7 @@ SlcController::onUpdate(Addr block, NodeId home, std::uint32_t mask,
                 // The write-through FLC is not updated remotely:
                 // drop its copy so the next read refetches from SLC.
                 flc.invalidate(block);
+                notifyObserver(block);
             }
         }
         NodeId from = self;
@@ -885,6 +967,15 @@ SlcController::flushFunctionalState()
             writeLineToStore(block, line);
     });
     BackingStore &store = fabric.store();
+    // Parked flush records first (in issue order): any write-cache
+    // record for the same block is younger and overwrites below.
+    for (const auto &[block, recs] : pendingFlushes) {
+        for (const WriteCacheFlush &rec : recs)
+            for (unsigned w = 0; w < rec.words.size(); ++w)
+                if (rec.dirtyMask & (1u << w))
+                    store.write32(block + Addr(w) * wordBytes,
+                                  rec.words[w]);
+    }
     for (const WriteCacheFlush &rec : writeCache.flushAll()) {
         for (unsigned w = 0; w < rec.words.size(); ++w)
             if (rec.dirtyMask & (1u << w))

@@ -151,8 +151,38 @@ class SlcController
     /** Look up a line (tests). */
     const Line *findLine(Addr a) const { return tags.find(a); }
 
+    /**
+     * Mutable line lookup. For fault injection only: the stress
+     * tests corrupt a line through this to prove the checker trips.
+     */
+    Line *findLineMutable(Addr a) { return tags.find(a); }
+
     /** Pending transactions (0 at quiescence). */
     std::size_t pendingTransactions() const { return txns.size(); }
+
+    /**
+     * @return true iff a transaction for @p block is outstanding.
+     * Includes upgrades still waiting for an SLWB slot: the line may
+     * already carry the merged (not yet globally performed) write
+     * values, so invariant checks must treat the block as
+     * mid-transaction.
+     */
+    bool hasPendingTransaction(Addr block) const {
+        return txns.count(block) != 0 ||
+               deferredUpgrades.count(block) != 0 ||
+               pendingFlushes.count(block) != 0;
+    }
+
+    /** Diagnostic view of one outstanding transaction. */
+    struct TxnDump
+    {
+        Addr block = 0;
+        const char *kind = "";
+        Tick start = 0;
+    };
+
+    /** All outstanding transactions (stall dumps). */
+    std::vector<TxnDump> pendingTransactionDump() const;
 
     /** SLWB entries currently in use. */
     unsigned slwbInUse() const { return slwbUsed; }
@@ -233,6 +263,10 @@ class SlcController
     /** Reserve the SLC port and run @p fn when the access completes. */
     void withPort(Callback fn);
 
+    /** Tell the installed protocol observer, if any, that the line
+     *  state or contents for @p block changed. */
+    void notifyObserver(Addr block);
+
     /** Run @p fn with an SLWB entry held (may wait for a free one). */
     void acquireSlwb(Callback fn);
     void releaseSlwb();
@@ -241,6 +275,7 @@ class SlcController
 
     void issuePrefetches(Addr demand_block);
     void startUpdateFlush(const WriteCacheFlush &rec);
+    void retryPendingFlush(Addr block);
     void startPreCountedUpgrade(
         Addr block, std::vector<Callback> waiters,
         std::vector<std::pair<unsigned, std::uint32_t>>
@@ -269,6 +304,19 @@ class SlcController
     Resource port;
 
     std::unordered_map<Addr, Txn> txns;
+    /// Blocks whose obligated upgrade is waiting for an SLWB slot.
+    std::unordered_map<Addr, unsigned> deferredUpgrades;
+    /// Update flush records (write-cache victims/releases, or plain
+    /// competitive-update writes) whose Update transaction could not
+    /// start yet (SLWB full, or an earlier transaction for the block
+    /// still in flight), in issue order. The words are still this
+    /// node's responsibility: a concurrent fill must merge them (the
+    /// home never propagates a writer's own update back to it) and
+    /// reads must still see them. Records stay separate — combining
+    /// is the write cache's job; merging here would grant the plain
+    /// uncombined protocol traffic savings it does not have.
+    std::unordered_map<Addr, std::deque<WriteCacheFlush>>
+        pendingFlushes;
     unsigned slwbUsed = 0;
     std::deque<Callback> slwbWaiters;
 

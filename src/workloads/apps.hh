@@ -7,6 +7,7 @@
 #ifndef CPX_WORKLOADS_APPS_HH
 #define CPX_WORKLOADS_APPS_HH
 
+#include <cstdint>
 #include <memory>
 
 #include "workloads/workload.hh"
@@ -24,8 +25,11 @@ std::unique_ptr<Workload> makeFft(double scale);
 
 std::unique_ptr<Workload> makeMigratory(double scale);
 std::unique_ptr<Workload> makeProducerConsumer(double scale);
-std::unique_ptr<Workload> makeReadOnly(double scale);
+std::unique_ptr<Workload> makeReadOnly(double scale,
+                                       std::uint64_t seed = 1);
 std::unique_ptr<Workload> makeFalseSharing(double scale);
+std::unique_ptr<Workload> makeStress(double scale,
+                                     std::uint64_t seed = 1);
 
 } // namespace cpx
 

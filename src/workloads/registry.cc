@@ -23,7 +23,7 @@ runWorkload(System &sys, Workload &w, Tick limit)
 }
 
 std::unique_ptr<Workload>
-makeWorkload(const std::string &name, double scale)
+makeWorkload(const std::string &name, double scale, std::uint64_t seed)
 {
     if (name == "lu")
         return makeLu(scale);
@@ -44,9 +44,11 @@ makeWorkload(const std::string &name, double scale)
     if (name == "producer_consumer")
         return makeProducerConsumer(scale);
     if (name == "readonly")
-        return makeReadOnly(scale);
+        return makeReadOnly(scale, seed);
     if (name == "false_sharing")
         return makeFalseSharing(scale);
+    if (name == "stress")
+        return makeStress(scale, seed);
     fatal("unknown workload '%s'", name.c_str());
 }
 

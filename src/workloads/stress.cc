@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Random protocol stress tester.
+ *
+ * A seeded fuzzer for the coherence protocol rather than a model of
+ * any real program: every processor executes a deterministic,
+ * per-processor random mix of reads, 4- and 8-byte writes,
+ * lock-protected increments, software prefetches (shared and
+ * exclusive) and short private streaming scans, all hammering a
+ * deliberately tiny set of hot shared blocks so that invalidations,
+ * fetches, upgrades, migratory handoffs and combined-write updates
+ * collide as often as possible. Rounds are separated by barriers.
+ *
+ * The op lists are generated up front in setup() from the workload
+ * seed, so verify() can recompute exactly what ran:
+ *
+ *  - lock-protected counters must total the number of increments;
+ *  - every hot word's final value must be one of the values written
+ *    to it during the last round in which anyone wrote it (barriers
+ *    drain all write buffers between rounds, so older values or
+ *    values never written prove the protocol lost or resurrected a
+ *    write);
+ *  - each processor's checksum over its streaming scans must match.
+ *
+ * One concession to the protocol under test: with the CW extension
+ * enabled, writes are partitioned per processor (each proc owns a
+ * subset of the hot word pairs). A competitive-update protocol
+ * applies a write to the writer's own copy immediately, so two
+ * processors racing on the *same word* legitimately end up with
+ * divergent cached copies — a data race the paper's (data-race-free)
+ * programs never exhibit. Partitioning removes same-word write races
+ * while keeping same-block ones, which is what CW actually
+ * serializes. Invalidate protocols get the full free-for-all.
+ *
+ * Meant to run under the CoherenceChecker with the ChaosNetwork
+ * enabled (tests/test_stress.cc sweeps every protocol combination);
+ * also registered as "stress" for `cpxsim --workload stress`.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workloads/apps.hh"
+#include "workloads/barrier.hh"
+
+namespace cpx
+{
+
+namespace
+{
+
+class StressWorkload : public Workload
+{
+  public:
+    StressWorkload(unsigned rounds, unsigned ops_per_round,
+                   std::uint64_t seed)
+        : numRounds(rounds), opsPerRound(ops_per_round), seed(seed)
+    {}
+
+    std::string name() const override { return "stress"; }
+
+    void
+    setup(System &sys) override
+    {
+        const MachineParams &params = sys.params();
+        numProcs = params.numProcs;
+        wordsPerBlock = params.blockBytes / wordBytes;
+        barrier.init(sys, numProcs);
+
+        hotBase = sys.heap().allocBlockAligned(
+            hotBlocks * params.blockBytes);
+        for (unsigned w = 0; w < hotBlocks * wordsPerBlock; ++w)
+            sys.store().write32(hotBase + Addr(w) * wordBytes, 0);
+
+        counters.resize(numCounters);
+        for (auto &c : counters)
+            c.init(sys, 0);
+
+        streamBase = sys.heap().allocBlockAligned(
+            Addr(numProcs) * streamWords * wordBytes);
+        for (unsigned w = 0; w < numProcs * streamWords; ++w) {
+            sys.store().write32(streamBase + Addr(w) * wordBytes,
+                                w * 2654435761u);
+        }
+        resultBase = sys.heap().allocBlockAligned(
+            Addr(numProcs) * params.blockBytes);
+        resultStride = params.blockBytes;
+
+        generateOps(params.protocol.compUpdate);
+    }
+
+    void
+    parallel(Processor &p, unsigned id) override
+    {
+        // Only the stream checksum is verifiable; hot-word reads
+        // race by design and their values are just consumed.
+        std::uint32_t stream_sum = 0;
+        for (unsigned r = 0; r < numRounds; ++r) {
+            for (const Op &op : ops[id][r])
+                execute(p, id, op, stream_sum);
+            barrier.wait(p, id);
+        }
+        p.write32(resultBase + Addr(id) * resultStride, stream_sum);
+    }
+
+    bool
+    verify(System &sys) override
+    {
+        // 1. No lock-protected increment was lost or duplicated.
+        std::uint64_t want_total = 0;
+        for (unsigned id = 0; id < numProcs; ++id)
+            for (const auto &round : ops[id])
+                for (const Op &op : round)
+                    if (op.kind == Op::Kind::LockedAdd)
+                        ++want_total;
+        std::uint64_t total = 0;
+        for (const auto &c : counters)
+            total += c.peek(sys);
+        if (total != want_total)
+            return false;
+
+        // 2. Each hot word holds a value written during the last
+        //    round that wrote it (or its initial zero if never
+        //    written). Anything else is a lost or resurrected write.
+        const unsigned hot_words = hotBlocks * wordsPerBlock;
+        for (unsigned w = 0; w < hot_words; ++w) {
+            int last_round = -1;
+            for (unsigned id = 0; id < numProcs; ++id)
+                for (unsigned r = 0; r < numRounds; ++r)
+                    for (const Op &op : ops[id][r])
+                        if (writesWord(op, w))
+                            last_round = std::max(last_round, int(r));
+            const std::uint32_t have =
+                sys.store().read32(hotBase + Addr(w) * wordBytes);
+            if (last_round < 0) {
+                if (have != 0)
+                    return false;
+                continue;
+            }
+            bool member = false;
+            for (unsigned id = 0; id < numProcs && !member; ++id)
+                for (const Op &op : ops[id][unsigned(last_round)])
+                    if (writesWord(op, w) &&
+                        writtenValue(op, w) == have) {
+                        member = true;
+                        break;
+                    }
+            if (!member)
+                return false;
+        }
+
+        // 3. Streaming checksums (private data; must be exact).
+        for (unsigned id = 0; id < numProcs; ++id) {
+            std::uint32_t want = 0;
+            for (const auto &round : ops[id])
+                for (const Op &op : round)
+                    if (op.kind == Op::Kind::Stream)
+                        for (unsigned i = 0; i < streamScan; ++i)
+                            want += (id * streamWords + op.word + i) *
+                                    2654435761u;
+            const std::uint32_t have = sys.store().read32(
+                resultBase + Addr(id) * resultStride);
+            if (have != want)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    struct Op
+    {
+        enum class Kind
+        {
+            Read,       //!< read a hot word
+            Write32,    //!< write a hot word
+            Write64,    //!< write an aligned hot word pair
+            LockedAdd,  //!< lock-protected counter increment
+            Prefetch,   //!< software prefetch of a hot block
+            Stream,     //!< sequential scan of private data
+            Compute,    //!< local work (spaces the sharing out)
+        };
+
+        Kind kind = Kind::Read;
+        unsigned word = 0;      //!< hot word / counter / stream index
+        std::uint32_t value = 0;
+        bool exclusive = false; //!< prefetch flavour
+    };
+
+    /** Values are unique per (proc, round, op): verify() can tell
+     *  exactly which write a surviving value came from. */
+    static std::uint32_t
+    tagValue(unsigned id, unsigned round, unsigned op)
+    {
+        return (id << 24) | (round << 16) | (op + 1);
+    }
+
+    void
+    generateOps(bool partition_writes)
+    {
+        const unsigned hot_words = hotBlocks * wordsPerBlock;
+        const unsigned num_pairs = hot_words / 2;
+        ops.assign(numProcs, {});
+        for (unsigned id = 0; id < numProcs; ++id) {
+            // CW: this proc may only write its own word pairs (see
+            // the file comment); with more procs than pairs some
+            // procs write nothing, which is still a valid stress.
+            std::vector<unsigned> my_pairs;
+            for (unsigned pr = 0; pr < num_pairs; ++pr)
+                if (!partition_writes || pr % numProcs == id)
+                    my_pairs.push_back(pr);
+
+            // Per-processor stream: one Rng each keeps op lists
+            // independent of numProcs ordering.
+            Rng rng(seed * 0x100 + id);
+            ops[id].resize(numRounds);
+            for (unsigned r = 0; r < numRounds; ++r) {
+                ops[id][r].reserve(opsPerRound);
+                for (unsigned i = 0; i < opsPerRound; ++i) {
+                    Op op;
+                    unsigned kind = unsigned(rng.below(16));
+                    if (my_pairs.empty() && kind >= 5 && kind <= 9)
+                        kind = 0;
+                    switch (kind) {
+                      case 0: case 1: case 2: case 3: case 4:
+                        op.kind = Op::Kind::Read;
+                        op.word = unsigned(rng.below(hot_words));
+                        break;
+                      case 5: case 6: case 7: case 8: {
+                        op.kind = Op::Kind::Write32;
+                        unsigned pr = my_pairs[unsigned(
+                            rng.below(my_pairs.size()))];
+                        op.word = pr * 2 + unsigned(rng.below(2));
+                        op.value = tagValue(id, r, i);
+                        break;
+                      }
+                      case 9:
+                        op.kind = Op::Kind::Write64;
+                        // Aligned pair: never straddles a block.
+                        op.word = my_pairs[unsigned(rng.below(
+                                      my_pairs.size()))] * 2;
+                        op.value = tagValue(id, r, i);
+                        break;
+                      case 10: case 11:
+                        op.kind = Op::Kind::LockedAdd;
+                        op.word = unsigned(rng.below(numCounters));
+                        break;
+                      case 12:
+                        op.kind = Op::Kind::Prefetch;
+                        op.word = unsigned(rng.below(hot_words));
+                        op.exclusive = rng.below(2) != 0;
+                        break;
+                      case 13:
+                        op.kind = Op::Kind::Stream;
+                        op.word = unsigned(
+                            rng.below(streamWords - streamScan));
+                        break;
+                      default:
+                        op.kind = Op::Kind::Compute;
+                        op.word = unsigned(rng.below(30)) + 1;
+                        break;
+                    }
+                    ops[id][r].push_back(op);
+                }
+            }
+        }
+    }
+
+    void
+    execute(Processor &p, unsigned id, const Op &op,
+            std::uint32_t &stream_sum)
+    {
+        switch (op.kind) {
+          case Op::Kind::Read:
+            (void)p.read32(hotAddr(op.word));
+            break;
+          case Op::Kind::Write32:
+            p.write32(hotAddr(op.word), op.value);
+            break;
+          case Op::Kind::Write64:
+            p.write64(hotAddr(op.word),
+                      (std::uint64_t(op.value) << 32) | op.value);
+            break;
+          case Op::Kind::LockedAdd:
+            counters[op.word].fetchAdd(p, 1);
+            break;
+          case Op::Kind::Prefetch:
+            p.prefetch(hotAddr(op.word), op.exclusive);
+            break;
+          case Op::Kind::Stream:
+            for (unsigned i = 0; i < streamScan; ++i) {
+                stream_sum += p.read32(
+                    streamBase +
+                    (Addr(id) * streamWords + op.word + i) *
+                        wordBytes);
+            }
+            break;
+          case Op::Kind::Compute:
+            p.compute(op.word);
+            break;
+        }
+    }
+
+    Addr hotAddr(unsigned word) const {
+        return hotBase + Addr(word) * wordBytes;
+    }
+
+    bool
+    writesWord(const Op &op, unsigned w) const
+    {
+        if (op.kind == Op::Kind::Write32)
+            return op.word == w;
+        if (op.kind == Op::Kind::Write64)
+            return op.word == w || op.word + 1 == w;
+        return false;
+    }
+
+    /** The 32-bit value @p op leaves in hot word @p w. */
+    std::uint32_t
+    writtenValue(const Op &op, unsigned w) const
+    {
+        (void)w;  // write64 stores the tag in both halves
+        return op.value;
+    }
+
+    static constexpr unsigned hotBlocks = 4;
+    static constexpr unsigned numCounters = 2;
+    static constexpr unsigned streamWords = 64;
+    static constexpr unsigned streamScan = 8;
+
+    unsigned numRounds;
+    unsigned opsPerRound;
+    std::uint64_t seed;
+    unsigned numProcs = 0;
+    unsigned wordsPerBlock = 0;
+
+    Addr hotBase = 0;
+    Addr streamBase = 0;
+    Addr resultBase = 0;
+    Addr resultStride = 0;
+    std::vector<SharedCounter> counters;
+    /// ops[proc][round] — generated in setup(), replayed in verify().
+    std::vector<std::vector<std::vector<Op>>> ops;
+    SimBarrier barrier;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeStress(double scale, std::uint64_t seed)
+{
+    unsigned ops = std::max(16u, static_cast<unsigned>(120 * scale));
+    return std::make_unique<StressWorkload>(4, ops, seed);
+}
+
+} // namespace cpx

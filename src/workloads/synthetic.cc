@@ -164,8 +164,9 @@ class ProducerConsumerWorkload : public Workload
 class ReadOnlyWorkload : public Workload
 {
   public:
-    ReadOnlyWorkload(unsigned words, unsigned reads)
-        : numWords(words), readsPerProc(reads)
+    ReadOnlyWorkload(unsigned words, unsigned reads,
+                     std::uint64_t seed)
+        : numWords(words), readsPerProc(reads), seed(seed)
     {}
 
     std::string name() const override { return "readonly"; }
@@ -185,7 +186,7 @@ class ReadOnlyWorkload : public Workload
     void
     parallel(Processor &p, unsigned id) override
     {
-        Rng rng(id + 1);
+        Rng rng(seed + id);
         std::uint32_t sum = 0;
         for (unsigned i = 0; i < readsPerProc; ++i) {
             unsigned w = static_cast<unsigned>(rng.below(numWords));
@@ -200,7 +201,7 @@ class ReadOnlyWorkload : public Workload
     verify(System &sys) override
     {
         for (unsigned q = 0; q < numProcs; ++q) {
-            Rng rng(q + 1);
+            Rng rng(seed + q);
             std::uint32_t want = 0;
             for (unsigned i = 0; i < readsPerProc; ++i) {
                 unsigned w =
@@ -216,6 +217,7 @@ class ReadOnlyWorkload : public Workload
   private:
     unsigned numWords;
     unsigned readsPerProc;
+    std::uint64_t seed;
     unsigned numProcs = 0;
     Addr table = 0;
     Addr results = 0;
@@ -289,10 +291,11 @@ makeProducerConsumer(double scale)
 }
 
 std::unique_ptr<Workload>
-makeReadOnly(double scale)
+makeReadOnly(double scale, std::uint64_t seed)
 {
     unsigned reads = std::max(64u, static_cast<unsigned>(500 * scale));
-    return std::make_unique<ReadOnlyWorkload>(1024, reads);
+    // seed 1 reproduces the historical per-proc streams Rng(id + 1).
+    return std::make_unique<ReadOnlyWorkload>(1024, reads, seed);
 }
 
 std::unique_ptr<Workload>

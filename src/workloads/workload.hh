@@ -12,6 +12,7 @@
 #ifndef CPX_WORKLOADS_WORKLOAD_HH
 #define CPX_WORKLOADS_WORKLOAD_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -55,15 +56,19 @@ WorkloadRun runWorkload(System &sys, Workload &w, Tick limit = maxTick);
 /**
  * Factory: construct a workload by name. Names: "mp3d", "cholesky",
  * "water", "lu", "ocean" (the five applications of §4), the
- * extension application "fft", and the synthetic kernels
- * "migratory", "producer_consumer", "readonly", "false_sharing".
- * (Trace replay is separate: see workloads/trace.hh.)
+ * extension application "fft", the synthetic kernels "migratory",
+ * "producer_consumer", "readonly", "false_sharing", and the random
+ * protocol stress tester "stress". (Trace replay is separate: see
+ * workloads/trace.hh.)
  *
  * @param scale linear problem-size multiplier (1.0 = the harness
  *              default sizes; tests use smaller values)
+ * @param seed  random seed for the workloads that use one
+ *              ("readonly", "stress"); ignored by the rest
  */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
-                                       double scale = 1.0);
+                                       double scale = 1.0,
+                                       std::uint64_t seed = 1);
 
 /** The five application names in the paper's order. */
 const std::vector<std::string> &paperApplications();

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Death tests for the fatal() configuration-validation paths.
+ * fatal() flags user errors and exits cleanly with status 1 (unlike
+ * panic(), which aborts), so EXPECT_EXIT can assert both the exit
+ * code and the message.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "workloads/trace.hh"
+#include "workloads/workload.hh"
+
+namespace cpx
+{
+namespace
+{
+
+using ::testing::ExitedWithCode;
+
+TEST(FatalDeathTest, CompetitiveUpdateRejectsSequentialConsistency)
+{
+    MachineParams params =
+        makeParams(ProtocolConfig::cw(),
+                   Consistency::SequentialConsistency);
+    EXPECT_EXIT({ System sys(params); }, ExitedWithCode(1),
+                "competitive-update .* requires");
+}
+
+TEST(FatalDeathTest, RejectsZeroProcessors)
+{
+    MachineParams params = makeParams(ProtocolConfig::basic());
+    params.numProcs = 0;
+    // The address map (a member, built before System's own checks
+    // run) is the first to object.
+    EXPECT_EXIT({ System sys(params); }, ExitedWithCode(1),
+                "need at least one node");
+}
+
+TEST(FatalDeathTest, RejectsMoreProcessorsThanPresenceBits)
+{
+    MachineParams params = makeParams(ProtocolConfig::basic());
+    params.numProcs = 65;
+    EXPECT_EXIT({ System sys(params); }, ExitedWithCode(1),
+                "presence vector");
+}
+
+TEST(FatalDeathTest, RejectsZeroWriteBufferEntries)
+{
+    MachineParams params = makeParams(ProtocolConfig::basic());
+    params.slwbEntries = 0;
+    EXPECT_EXIT({ System sys(params); }, ExitedWithCode(1),
+                "write buffers need at least one entry");
+}
+
+TEST(FatalDeathTest, RejectsUnknownWorkloadName)
+{
+    EXPECT_EXIT({ makeWorkload("no_such_workload"); },
+                ExitedWithCode(1), "unknown workload");
+}
+
+TEST(FatalDeathTest, TraceRejectsMalformedProcessorId)
+{
+    EXPECT_EXIT({ parseTrace("bogus r 40\n"); }, ExitedWithCode(1),
+                "expected processor id");
+}
+
+TEST(FatalDeathTest, TraceRejectsReadWithoutAddress)
+{
+    EXPECT_EXIT({ parseTrace("0 r\n"); }, ExitedWithCode(1),
+                "read needs an address");
+}
+
+TEST(FatalDeathTest, TraceRejectsWriteWithoutValue)
+{
+    EXPECT_EXIT({ parseTrace("0 w 40\n"); }, ExitedWithCode(1),
+                "write needs address and value");
+}
+
+TEST(FatalDeathTest, TraceRejectsUnknownOperation)
+{
+    EXPECT_EXIT({ parseTrace("0 q 1\n"); }, ExitedWithCode(1),
+                "unknown operation");
+}
+
+TEST(FatalDeathTest, TraceLineNumbersPointAtTheBadLine)
+{
+    EXPECT_EXIT({ parseTrace("0 r 40\n0 c 5\n0 x\n"); },
+                ExitedWithCode(1), "trace line 3");
+}
+
+} // anonymous namespace
+} // namespace cpx

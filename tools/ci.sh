@@ -1,0 +1,39 @@
+#!/bin/sh
+# Continuous-integration driver: plain build + tests, sanitized build
+# + tests, and a short seeded stress pass under the coherence checker
+# with chaos-network fault injection.
+#
+# Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+prefix=${1:-build-ci}
+
+run_suite() {
+    dir=$1
+    shift
+    echo "== configure $dir ($*)"
+    cmake -S "$root" -B "$root/$dir" "$@" >/dev/null
+    echo "== build $dir"
+    cmake --build "$root/$dir" -j >/dev/null
+    echo "== test $dir"
+    ctest --test-dir "$root/$dir" --output-on-failure -j 2 >/dev/null
+    echo "== $dir OK"
+}
+
+run_suite "$prefix"           -DCPX_SANITIZE=OFF
+run_suite "$prefix-sanitize"  -DCPX_SANITIZE=ON
+
+# Seeded stress spot-checks: checker fail-fast + chaos jitter across
+# the protocol extremes. Any invariant violation panics the run.
+echo "== stress spot-checks"
+for seed in 3 17; do
+    for proto in BASIC P+CW+M; do
+        "$root/$prefix/tools/cpxsim" --workload=stress \
+            --protocol="$proto" --procs=8 --scale=0.2 \
+            --seed="$seed" --chaos --chaos-seed="$seed" \
+            --check >/dev/null
+        echo "   stress $proto seed=$seed OK"
+    done
+done
+echo "== CI green"

@@ -12,25 +12,45 @@
  * Options:
  *   --app=NAME          mp3d | cholesky | water | lu | ocean |
  *                       migratory | producer_consumer | readonly |
- *                       false_sharing             (default mp3d)
+ *                       false_sharing | stress      (default mp3d)
+ *   --workload=NAME     alias for --app=
  *   --protocol=COMBO    BASIC, P, CW, M, P+CW, P+M, CW+M, P+CW+M
  *   --consistency=MODEL rc | sc                    (default rc)
  *   --network=KIND      uniform | mesh16|mesh32|mesh64 (default uniform)
  *   --procs=N           processors                 (default 16)
  *   --scale=F           problem-size multiplier    (default 1.0)
+ *   --seed=N            workload random seed       (default 1)
  *   --slc=BYTES         finite SLC size, 0=infinite (default 0)
  *   --threshold=N       competitive threshold      (default 1)
  *   --no-write-cache    plain competitive update [10]
  *   --flwb=N --slwb=N   write buffer entries
+ *   --limit=N           abort the run after N simulated ticks
  *   --stats             dump all component statistics
  *   --trace=TAGS        comma-separated debug tags (SLC,Dir) to stderr
+ *
+ * Stress harness (see DESIGN.md "Stress harness"):
+ *   --check             run the coherence invariant checker
+ *                       (panics on the first violation)
+ *   --chaos             inject network latency jitter + reordering
+ *   --chaos-jitter=N    max jitter in ticks         (default 64)
+ *   --chaos-seed=N      chaos rng seed              (default 1)
+ *   --chaos-no-fifo     do not preserve pairwise FIFO (NOTE: the
+ *                       directory protocol relies on it; expect
+ *                       checker violations — this is for testing
+ *                       the checker, not the protocol)
+ *   --watchdog[=N]      stall watchdog, sampling every N ticks
+ *                       (default 100000); dumps diagnostics and
+ *                       aborts when no progress is made
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "check/checker.hh"
+#include "check/watchdog.hh"
 #include "core/config.hh"
 #include "core/report.hh"
 #include "workloads/workload.hh"
@@ -63,7 +83,12 @@ main(int argc, char **argv)
     std::string consistency = "rc";
     std::string network = "uniform";
     double scale = 1.0;
+    std::uint64_t seed = 1;
+    Tick limit = maxTick;
     bool dump_stats = false;
+    bool check = false;
+    bool watchdog_enabled = false;
+    Tick watchdog_interval = 100'000;
     MachineParams params;
 
     for (int i = 1; i < argc; ++i) {
@@ -76,6 +101,8 @@ main(int argc, char **argv)
         };
         if (const char *v = value("--app="))
             app = v;
+        else if (const char *v = value("--workload="))
+            app = v;
         else if (const char *v = value("--protocol="))
             protocol = v;
         else if (const char *v = value("--consistency="))
@@ -86,6 +113,8 @@ main(int argc, char **argv)
             params.numProcs = static_cast<unsigned>(std::atoi(v));
         else if (const char *v = value("--scale="))
             scale = std::atof(v);
+        else if (const char *v = value("--seed="))
+            seed = std::strtoull(v, nullptr, 0);
         else if (const char *v = value("--slc="))
             params.slcBytes = static_cast<unsigned>(std::atoi(v));
         else if (const char *v = value("--threshold="))
@@ -97,9 +126,29 @@ main(int argc, char **argv)
             params.flwbEntries = static_cast<unsigned>(std::atoi(v));
         else if (const char *v = value("--slwb="))
             params.slwbEntries = static_cast<unsigned>(std::atoi(v));
+        else if (const char *v = value("--limit="))
+            limit = std::strtoull(v, nullptr, 0);
         else if (arg == "--stats")
             dump_stats = true;
-        else if (const char *v = value("--trace=")) {
+        else if (arg == "--check")
+            check = true;
+        else if (arg == "--chaos")
+            params.chaos.enabled = true;
+        else if (const char *v = value("--chaos-jitter=")) {
+            params.chaos.enabled = true;
+            params.chaos.maxJitter = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = value("--chaos-seed=")) {
+            params.chaos.enabled = true;
+            params.chaos.seed = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--chaos-no-fifo") {
+            params.chaos.enabled = true;
+            params.chaos.preservePairFifo = false;
+        } else if (arg == "--watchdog")
+            watchdog_enabled = true;
+        else if (const char *v = value("--watchdog=")) {
+            watchdog_enabled = true;
+            watchdog_interval = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = value("--trace=")) {
             std::string tags = v;
             std::size_t pos = 0;
             while (pos != std::string::npos) {
@@ -129,12 +178,31 @@ main(int argc, char **argv)
     params.applyConsistencyDefaults();
 
     System sys(params);
-    auto workload = makeWorkload(app, scale);
-    WorkloadRun run = runWorkload(sys, *workload);
+
+    std::unique_ptr<CoherenceChecker> checker;
+    if (check) {
+        CoherenceChecker::Options copts;
+        copts.failFast = true;
+        checker = std::make_unique<CoherenceChecker>(sys, copts);
+    }
+    std::unique_ptr<Watchdog> watchdog;
+    if (watchdog_enabled) {
+        Watchdog::Options wopts;
+        wopts.interval = watchdog_interval;
+        watchdog = std::make_unique<Watchdog>(sys, wopts);
+        watchdog->arm();
+    }
+
+    auto workload = makeWorkload(app, scale, seed);
+    WorkloadRun run = runWorkload(sys, *workload, limit);
     RunResult &r = run.stats;
 
-    std::printf("app            %s (scale %.2f)\n", app.c_str(),
-                scale);
+    if (checker)
+        checker->checkQuiescent();
+
+    std::printf("app            %s (scale %.2f, seed %llu)\n",
+                app.c_str(), scale,
+                static_cast<unsigned long long>(seed));
     std::printf("machine        %u procs, %s, %s, %s network\n",
                 params.numProcs, r.protocol.c_str(),
                 r.consistency.c_str(), network.c_str());
@@ -151,6 +219,14 @@ main(int argc, char **argv)
     std::printf("network        %llu bytes in %llu messages\n",
                 static_cast<unsigned long long>(r.netBytes),
                 static_cast<unsigned long long>(r.netMessages));
+    if (checker) {
+        std::printf("checker        %llu checks, %llu messages "
+                    "observed, 0 violations\n",
+                    static_cast<unsigned long long>(
+                        checker->checksRun()),
+                    static_cast<unsigned long long>(
+                        checker->messagesObserved()));
+    }
 
     if (dump_stats) {
         std::printf("\n---------- statistics dump ----------\n%s",
