@@ -13,41 +13,34 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Ablation — fixed vs adaptive sequential prefetch degree "
-        "(RC, execution time relative to BASIC = 100)",
-        "adaptive prefetching tracks the best fixed degree per "
-        "application without per-application tuning [3]");
+using namespace cpx;
+using namespace cpx::bench;
 
-    std::printf("%-12s", "config");
-    for (const std::string &app : paperApplications())
-        std::printf(" %9s", app.c_str());
-    std::printf("\n");
-
-    // Baseline.
-    std::map<std::string, Tick> base;
-    for (const std::string &app : paperApplications()) {
-        base[app] =
-            bench::runOne(app, makeParams(ProtocolConfig::basic()),
-                          opts)
-                .execTime;
-    }
-
-    auto report = [&](const char *label, MachineParams params) {
-        std::printf("%-12s", label);
-        for (const std::string &app : paperApplications()) {
-            Tick t = bench::runOne(app, params, opts).execTime;
-            std::printf(" %8.1f%%", 100.0 * t / base[app]);
-        }
-        std::printf("\n");
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
+    struct Row
+    {
+        std::string label;
+        std::vector<std::size_t> handles;  //!< one per application
     };
 
+    auto queueRow = [&runner](const std::string &label,
+                              const MachineParams &params) {
+        Row row{label, {}};
+        for (const std::string &app : paperApplications())
+            row.handles.push_back(runner.add(
+                app, params, "ablation_prefetch/" + label));
+        return row;
+    };
+
+    Row baseline = queueRow("BASIC",
+                            makeParams(ProtocolConfig::basic()));
+
+    std::vector<Row> rows;
     for (unsigned degree : {1u, 2u, 4u, 8u}) {
         MachineParams params = makeParams(ProtocolConfig::p());
         // A fixed degree: clamp the ladder to one rung and disable
@@ -56,21 +49,48 @@ main(int argc, char **argv)
         params.prefetchMaxDegree = degree;
         params.prefetchHighMark = 2.0;  // never raise
         params.prefetchLowMark = -1.0;  // never lower
-        char label[32];
-        std::snprintf(label, sizeof(label), "fixed K=%u", degree);
-        report(label, params);
+        rows.push_back(queueRow(
+            "fixed K=" + std::to_string(degree), params));
     }
 
-    report("adaptive", makeParams(ProtocolConfig::p()));
+    rows.push_back(
+        queueRow("adaptive", makeParams(ProtocolConfig::p())));
 
     MachineParams eager = makeParams(ProtocolConfig::p());
     eager.prefetchHighMark = 0.5;
     eager.prefetchLowMark = 0.25;
-    report("adapt-eager", eager);
+    rows.push_back(queueRow("adapt-eager", eager));
 
     MachineParams timid = makeParams(ProtocolConfig::p());
     timid.prefetchHighMark = 0.9;
     timid.prefetchLowMark = 0.6;
-    report("adapt-timid", timid);
-    return 0;
+    rows.push_back(queueRow("adapt-timid", timid));
+
+    return [&runner, baseline, rows]() {
+        printBanner(
+            "Ablation — fixed vs adaptive sequential prefetch degree "
+            "(RC, execution time relative to BASIC = 100)",
+            "adaptive prefetching tracks the best fixed degree per "
+            "application without per-application tuning [3]");
+
+        std::printf("%-12s", "config");
+        for (const std::string &app : paperApplications())
+            std::printf(" %9s", app.c_str());
+        std::printf("\n");
+
+        for (const Row &row : rows) {
+            std::printf("%-12s", row.label.c_str());
+            for (std::size_t i = 0; i < row.handles.size(); ++i) {
+                Tick base = runner[baseline.handles[i]].run.execTime;
+                Tick t = runner[row.handles[i]].run.execTime;
+                std::printf(" %8.1f%%", 100.0 * t / base);
+            }
+            std::printf("\n");
+        }
+    };
 }
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(ablation_prefetch,
+                 "Ablation — fixed vs adaptive prefetch", 90, setup)

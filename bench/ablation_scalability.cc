@@ -13,40 +13,70 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Ablation — scaling the processor count (execution time in "
-        "kilopclocks; ratio vs BASIC at the same count)",
-        "(not in the paper — the extensions' gains vary with scale)");
+using namespace cpx;
+using namespace cpx::bench;
 
-    const unsigned counts[] = {2, 4, 8, 16, 32};
-    const char *apps[] = {"mp3d", "ocean"};
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
+    const std::vector<unsigned> counts{2, 4, 8, 16, 32};
+    const std::vector<std::string> apps{"mp3d", "ocean"};
 
-    for (const char *app : apps) {
-        std::printf("\n%s:\n%-7s %12s %16s %16s\n", app, "procs",
-                    "BASIC", "P+CW", "P+M");
+    struct Cell
+    {
+        std::size_t basic, pcw, pm;
+    };
+    // app-index -> count-index -> handles.
+    std::vector<std::vector<Cell>> grid;
+    for (const std::string &app : apps) {
+        std::vector<Cell> row;
         for (unsigned procs : counts) {
-            bench::Options scaled = opts;
-            scaled.procs = procs;
-            MachineParams basic = makeParams(ProtocolConfig::basic());
-            MachineParams pcw = makeParams(ProtocolConfig::pcw());
-            MachineParams pm = makeParams(ProtocolConfig::pm());
-            Tick tb = bench::runOne(app, basic, scaled).execTime;
-            Tick tc = bench::runOne(app, pcw, scaled).execTime;
-            Tick tm = bench::runOne(app, pm, scaled).execTime;
-            std::printf("%-7u %11lluk %10lluk %3.0f%% %10lluk %3.0f%%\n",
-                        procs,
-                        static_cast<unsigned long long>(tb / 1000),
-                        static_cast<unsigned long long>(tc / 1000),
-                        100.0 * tc / tb,
-                        static_cast<unsigned long long>(tm / 1000),
-                        100.0 * tm / tb);
+            std::string tag =
+                "ablation_scalability/p" + std::to_string(procs);
+            row.push_back(Cell{
+                runner.add(app, makeParams(ProtocolConfig::basic()),
+                           tag, procs),
+                runner.add(app, makeParams(ProtocolConfig::pcw()),
+                           tag, procs),
+                runner.add(app, makeParams(ProtocolConfig::pm()),
+                           tag, procs)});
         }
+        grid.push_back(std::move(row));
     }
-    return 0;
+
+    return [&runner, grid, counts, apps]() {
+        printBanner(
+            "Ablation — scaling the processor count (execution time "
+            "in kilopclocks; ratio vs BASIC at the same count)",
+            "(not in the paper — the extensions' gains vary with "
+            "scale)");
+
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            std::printf("\n%s:\n%-7s %12s %16s %16s\n",
+                        apps[a].c_str(), "procs", "BASIC", "P+CW",
+                        "P+M");
+            for (std::size_t c = 0; c < counts.size(); ++c) {
+                const Cell &cell = grid[a][c];
+                Tick tb = runner[cell.basic].run.execTime;
+                Tick tc = runner[cell.pcw].run.execTime;
+                Tick tm = runner[cell.pm].run.execTime;
+                std::printf(
+                    "%-7u %11lluk %10lluk %3.0f%% %10lluk %3.0f%%\n",
+                    counts[c],
+                    static_cast<unsigned long long>(tb / 1000),
+                    static_cast<unsigned long long>(tc / 1000),
+                    100.0 * tc / tb,
+                    static_cast<unsigned long long>(tm / 1000),
+                    100.0 * tm / tb);
+            }
+        }
+    };
 }
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(ablation_scalability,
+                 "Ablation — processor-count scaling", 120, setup)

@@ -14,30 +14,22 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Ablation — hardware (P) vs software [9] prefetching on LU "
-        "(execution time relative to BASIC = 100)",
-        "§6: the hardware scheme needs no compiler support; software "
-        "read-exclusive prefetching additionally attacks the write "
-        "penalty, like P+M does in hardware");
+using namespace cpx;
+using namespace cpx::bench;
 
-    Tick base = bench::runOne("lu", makeParams(ProtocolConfig::basic()),
-                              opts)
-                    .execTime;
-
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
     struct Row
     {
         const char *label;
         const char *app;
         ProtocolConfig proto;
     };
-    const Row rows[] = {
+    const std::vector<Row> rows{
         {"hw P", "lu", ProtocolConfig::p()},
         {"sw prefetch", "lu_swpf", ProtocolConfig::basic()},
         {"sw + hw P", "lu_swpf", ProtocolConfig::p()},
@@ -47,23 +39,40 @@ main(int argc, char **argv)
         {"sw + CW", "lu_swpf", ProtocolConfig::cw()},
     };
 
-    std::printf("%-14s %10s %12s\n", "config", "rel.time",
-                "sw prefetches");
-    std::printf("%-14s %9.1f%% %12s\n", "BASIC", 100.0, "-");
-    for (const Row &row : rows) {
-        MachineParams params = makeParams(row.proto);
-        params.numProcs = opts.procs;
-        System sys(params);
-        auto w = makeWorkload(row.app, opts.scale);
-        WorkloadRun run = runWorkload(sys, *w);
-        if (!run.verified)
-            fatal("%s failed verification", row.label);
-        std::uint64_t sw = 0;
-        for (NodeId n = 0; n < params.numProcs; ++n)
-            sw += sys.node(n).slc.softwarePrefetches();
-        std::printf("%-14s %9.1f%% %12llu\n", row.label,
-                    100.0 * run.execTime / base,
-                    static_cast<unsigned long long>(sw));
-    }
-    return 0;
+    std::size_t baseline = runner.add(
+        "lu", makeParams(ProtocolConfig::basic()),
+        "ablation_swprefetch/BASIC");
+    std::vector<std::size_t> handles;
+    for (const Row &row : rows)
+        handles.push_back(
+            runner.add(row.app, makeParams(row.proto),
+                       std::string("ablation_swprefetch/") +
+                           row.label));
+
+    return [&runner, rows, baseline, handles]() {
+        printBanner(
+            "Ablation — hardware (P) vs software [9] prefetching on "
+            "LU (execution time relative to BASIC = 100)",
+            "§6: the hardware scheme needs no compiler support; "
+            "software read-exclusive prefetching additionally "
+            "attacks the write penalty, like P+M does in hardware");
+
+        Tick base = runner[baseline].run.execTime;
+
+        std::printf("%-14s %10s %12s\n", "config", "rel.time",
+                    "sw prefetches");
+        std::printf("%-14s %9.1f%% %12s\n", "BASIC", 100.0, "-");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const SweepResult &r = runner[handles[i]];
+            std::printf("%-14s %9.1f%% %12llu\n", rows[i].label,
+                        100.0 * r.run.execTime / base,
+                        static_cast<unsigned long long>(
+                            r.run.stats.softwarePrefetches));
+        }
+    };
 }
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(ablation_swprefetch,
+                 "Ablation — hw vs sw prefetching", 130, setup)

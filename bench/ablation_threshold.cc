@@ -12,66 +12,86 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Ablation — competitive-update threshold sweep (CW under "
-        "RC; time and traffic relative to BASIC = 100)",
-        "with write caches a threshold of 1 is the paper's "
-        "recommendation: higher thresholds keep stale copies alive "
-        "and multiply update traffic");
+using namespace cpx;
+using namespace cpx::bench;
 
-    std::map<std::string, RunResult> base;
-    for (const std::string &app : paperApplications()) {
-        base[app] = bench::runOne(
-                        app, makeParams(ProtocolConfig::basic()), opts)
-                        .stats;
-    }
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
+    struct Row
+    {
+        std::string label;
+        std::vector<std::size_t> handles;  //!< one per application
+    };
 
-    std::printf("%-12s", "threshold");
-    for (const std::string &app : paperApplications())
-        std::printf(" %16s", app.c_str());
-    std::printf("\n%-12s", "");
-    for (std::size_t i = 0; i < paperApplications().size(); ++i)
-        std::printf(" %8s %7s", "time", "traffic");
-    std::printf("\n");
+    auto queueRow = [&runner](const std::string &label,
+                              const MachineParams &params) {
+        Row row{label, {}};
+        for (const std::string &app : paperApplications())
+            row.handles.push_back(runner.add(
+                app, params, "ablation_threshold/" + label));
+        return row;
+    };
 
+    Row baseline = queueRow("BASIC",
+                            makeParams(ProtocolConfig::basic()));
+
+    std::vector<Row> rows;
     for (unsigned threshold : {1u, 2u, 4u, 8u}) {
-        std::printf("C=%-10u", threshold);
-        for (const std::string &app : paperApplications()) {
-            MachineParams params = makeParams(ProtocolConfig::cw());
-            params.competitiveThreshold = threshold;
-            RunResult r = bench::runOne(app, params, opts).stats;
-            std::printf(" %7.1f%% %6.0f%%",
-                        100.0 * r.execTime / base[app].execTime,
-                        base[app].netBytes
-                            ? 100.0 * r.netBytes / base[app].netBytes
-                            : 0.0);
-        }
-        std::printf("\n");
+        MachineParams params = makeParams(ProtocolConfig::cw());
+        params.competitiveThreshold = threshold;
+        rows.push_back(
+            queueRow("C=" + std::to_string(threshold), params));
     }
-
     // The plain competitive-update protocol of [10]: no write cache,
     // one update message per write. The paper argues threshold 1 +
     // write cache beats threshold 4 without one.
     for (unsigned threshold : {1u, 4u}) {
-        std::printf("C=%u,noWC%4s", threshold, "");
-        for (const std::string &app : paperApplications()) {
-            MachineParams params = makeParams(ProtocolConfig::cw());
-            params.competitiveThreshold = threshold;
-            params.writeCacheEnabled = false;
-            RunResult r = bench::runOne(app, params, opts).stats;
-            std::printf(" %7.1f%% %6.0f%%",
-                        100.0 * r.execTime / base[app].execTime,
-                        base[app].netBytes
-                            ? 100.0 * r.netBytes / base[app].netBytes
-                            : 0.0);
-        }
-        std::printf("\n");
+        MachineParams params = makeParams(ProtocolConfig::cw());
+        params.competitiveThreshold = threshold;
+        params.writeCacheEnabled = false;
+        rows.push_back(queueRow(
+            "C=" + std::to_string(threshold) + ",noWC", params));
     }
-    return 0;
+
+    return [&runner, baseline, rows]() {
+        printBanner(
+            "Ablation — competitive-update threshold sweep (CW under "
+            "RC; time and traffic relative to BASIC = 100)",
+            "with write caches a threshold of 1 is the paper's "
+            "recommendation: higher thresholds keep stale copies "
+            "alive and multiply update traffic");
+
+        std::printf("%-12s", "threshold");
+        for (const std::string &app : paperApplications())
+            std::printf(" %16s", app.c_str());
+        std::printf("\n%-12s", "");
+        for (std::size_t i = 0; i < paperApplications().size(); ++i)
+            std::printf(" %8s %7s", "time", "traffic");
+        std::printf("\n");
+
+        for (const Row &row : rows) {
+            std::printf("%-12s", row.label.c_str());
+            for (std::size_t i = 0; i < row.handles.size(); ++i) {
+                const RunResult &base =
+                    runner[baseline.handles[i]].run.stats;
+                const RunResult &r =
+                    runner[row.handles[i]].run.stats;
+                std::printf(" %7.1f%% %6.0f%%",
+                            100.0 * r.execTime / base.execTime,
+                            base.netBytes
+                                ? 100.0 * r.netBytes / base.netBytes
+                                : 0.0);
+            }
+            std::printf("\n");
+        }
+    };
 }
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(ablation_threshold,
+                 "Ablation — competitive threshold", 100, setup)

@@ -12,35 +12,58 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Ablation — write-cache size sweep (CW under RC)",
-        "four blocks already capture most write combining [4]; "
-        "larger write caches mostly delay, not reduce, the updates");
+using namespace cpx;
+using namespace cpx::bench;
 
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
+    const std::vector<unsigned> sizes{1, 2, 4, 8, 16};
+
+    // app-index -> size-index -> handle.
+    std::vector<std::vector<std::size_t>> grid;
     for (const std::string &app : paperApplications()) {
-        std::printf("\n%s:\n%-10s %10s %12s %14s\n", app.c_str(),
-                    "wc blocks", "exec", "net bytes",
-                    "combined writes");
-        Tick base = 0;
-        for (unsigned blocks : {1u, 2u, 4u, 8u, 16u}) {
+        std::vector<std::size_t> row;
+        for (unsigned blocks : sizes) {
             MachineParams params = makeParams(ProtocolConfig::cw());
             params.writeCacheBlocks = blocks;
-            WorkloadRun run = bench::runOne(app, params, opts);
-            if (blocks == 1)
-                base = run.execTime;
-            std::printf("%-10u %9.1f%% %12llu %14llu\n", blocks,
-                        100.0 * run.execTime / base,
-                        static_cast<unsigned long long>(
-                            run.stats.netBytes),
-                        static_cast<unsigned long long>(
-                            run.stats.combinedWrites));
+            row.push_back(runner.add(
+                app, params,
+                "ablation_writecache/wc" + std::to_string(blocks)));
         }
+        grid.push_back(std::move(row));
     }
-    return 0;
+
+    return [&runner, grid, sizes]() {
+        printBanner(
+            "Ablation — write-cache size sweep (CW under RC)",
+            "four blocks already capture most write combining [4]; "
+            "larger write caches mostly delay, not reduce, the "
+            "updates");
+
+        for (std::size_t a = 0; a < grid.size(); ++a) {
+            std::printf("\n%s:\n%-10s %10s %12s %14s\n",
+                        paperApplications()[a].c_str(), "wc blocks",
+                        "exec", "net bytes", "combined writes");
+            Tick base = runner[grid[a][0]].run.execTime;
+            for (std::size_t s = 0; s < sizes.size(); ++s) {
+                const SweepResult &r = runner[grid[a][s]];
+                std::printf("%-10u %9.1f%% %12llu %14llu\n",
+                            sizes[s],
+                            100.0 * r.run.execTime / base,
+                            static_cast<unsigned long long>(
+                                r.run.stats.netBytes),
+                            static_cast<unsigned long long>(
+                                r.run.stats.combinedWrites));
+            }
+        }
+    };
 }
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(ablation_writecache,
+                 "Ablation — write-cache size", 110, setup)

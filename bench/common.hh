@@ -5,61 +5,38 @@
  * Every bench binary regenerates one table or figure of the paper.
  * Binaries run unattended with defaults tuned so the whole harness
  * finishes in minutes; `--scale=<f>` / `--procs=<n>` (or the
- * CPX_SCALE environment variable) rescale the workloads.
+ * CPX_SCALE environment variable) rescale the workloads, and
+ * `--jobs=<n>` / `--json=<path>` select the host parallelism and the
+ * machine-readable output of the sweep runner (bench/runner.hh).
  */
 
 #ifndef CPX_BENCH_COMMON_HH
 #define CPX_BENCH_COMMON_HH
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
-#include "core/config.hh"
-#include "workloads/workload.hh"
+#include "bench/runner.hh"
 
 namespace cpx::bench
 {
 
-struct Options
-{
-    double scale = 1.0;
-    unsigned procs = 16;
-};
-
-inline Options
-parseOptions(int argc, char **argv)
-{
-    Options opts;
-    if (const char *env = std::getenv("CPX_SCALE"))
-        opts.scale = std::atof(env);
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--scale=", 8) == 0)
-            opts.scale = std::atof(argv[i] + 8);
-        else if (std::strncmp(argv[i], "--procs=", 8) == 0)
-            opts.procs = static_cast<unsigned>(std::atoi(argv[i] + 8));
-        else
-            fatal("unknown option '%s' (use --scale=F --procs=N)",
-                  argv[i]);
-    }
-    if (opts.scale <= 0.0)
-        fatal("--scale must be positive");
-    return opts;
-}
-
-/** Run one (application × machine) configuration. */
+/**
+ * Run one (application × machine) configuration serially, on the
+ * calling thread. Bench modules queue grids on a SweepRunner
+ * instead; this is for one-off runs (tests, exploratory tools).
+ */
 inline WorkloadRun
 runOne(const std::string &app, MachineParams params,
        const Options &opts)
 {
     params.numProcs = opts.procs;
     System sys(params);
-    auto w = makeWorkload(app, opts.scale);
+    auto w = makeWorkload(app, opts.scale, opts.seed);
     WorkloadRun run = runWorkload(sys, *w);
     if (!run.verified) {
-        fatal("%s failed verification under %s", app.c_str(),
-              params.protocol.name().c_str());
+        SweepPoint point{app, params, "", opts.scale, opts.seed};
+        fatal("%s failed verification", describePoint(point).c_str());
     }
     return run;
 }

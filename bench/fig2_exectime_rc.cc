@@ -9,28 +9,44 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Figure 2 — relative execution times under release "
-        "consistency (BASIC = 100)",
-        "P and CW are the best single extensions; P+CW approaches "
-        "additive gains (speedup up to ~2 on MP3D/Cholesky); M alone "
-        "only trims acquire stall; CW+M forfeits CW's gain on "
-        "migratory applications");
+using namespace cpx;
+using namespace cpx::bench;
 
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
+    std::vector<std::vector<std::size_t>> grid;
     for (const std::string &app : paperApplications()) {
-        std::vector<RunResult> results;
-        for (const ProtocolConfig &proto : figure2Protocols()) {
-            MachineParams params = makeParams(proto);
-            results.push_back(bench::runOne(app, params, opts).stats);
-        }
-        printRelativeExecutionTimes(app + " (RC)", results,
-                                    results.front());
+        std::vector<std::size_t> row;
+        for (const ProtocolConfig &proto : figure2Protocols())
+            row.push_back(runner.add(app, makeParams(proto),
+                                     "fig2/" + app));
+        grid.push_back(std::move(row));
     }
-    return 0;
+
+    return [&runner, grid]() {
+        printBanner(
+            "Figure 2 — relative execution times under release "
+            "consistency (BASIC = 100)",
+            "P and CW are the best single extensions; P+CW approaches "
+            "additive gains (speedup up to ~2 on MP3D/Cholesky); M "
+            "alone only trims acquire stall; CW+M forfeits CW's gain "
+            "on migratory applications");
+        for (std::size_t a = 0; a < grid.size(); ++a) {
+            std::vector<RunResult> results;
+            for (std::size_t h : grid[a])
+                results.push_back(runner[h].run.stats);
+            printRelativeExecutionTimes(
+                paperApplications()[a] + " (RC)", results,
+                results.front());
+        }
+    };
 }
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(fig2_exectime_rc,
+                 "Figure 2 — execution time under RC", 20, setup)

@@ -9,45 +9,72 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Figure 3 — relative execution times under sequential "
-        "consistency (B-SC = 100)",
-        "M-SC cuts write+acquire stall on migratory apps (up to 39% "
-        "on MP3D); P+M gains are additive (46% MP3D, 55% Cholesky); "
-        "P+M under SC beats BASIC-RC for 3 of 5 applications");
+using namespace cpx;
+using namespace cpx::bench;
 
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
     const Consistency sc = Consistency::SequentialConsistency;
 
-    int pm_beats_rc = 0;
+    struct AppRow
+    {
+        std::vector<std::size_t> scRuns; //!< B-SC, P, M-SC, P+M
+        std::size_t rcBaseline;          //!< BASIC under RC
+    };
+    std::vector<AppRow> grid;
     for (const std::string &app : paperApplications()) {
-        std::vector<RunResult> results;
+        AppRow row;
         for (const ProtocolConfig &proto :
              {ProtocolConfig::basic(), ProtocolConfig::p(),
               ProtocolConfig::m(), ProtocolConfig::pm()}) {
-            MachineParams params = makeParams(proto, sc);
-            results.push_back(bench::runOne(app, params, opts).stats);
+            row.scRuns.push_back(runner.add(
+                app, makeParams(proto, sc), "fig3/" + app));
         }
         // The paper's dashed line: BASIC under release consistency.
-        MachineParams rc_params = makeParams(ProtocolConfig::basic());
-        RunResult rc = bench::runOne(app, rc_params, opts).stats;
-
-        printRelativeExecutionTimes(app + " (SC; B-SC = 100)",
-                                    results, results.front());
-        std::printf("%-10s %8.1f   <-- BASIC under RC (the paper's "
-                    "dashed line)\n",
-                    "BASIC-RC",
-                    100.0 * rc.execTime / results.front().execTime);
-        if (results.back().execTime < rc.execTime)
-            ++pm_beats_rc;
+        row.rcBaseline = runner.add(
+            app, makeParams(ProtocolConfig::basic()),
+            "fig3/" + app + "/rc-ref");
+        grid.push_back(std::move(row));
     }
-    std::printf("\nP+M under SC beats BASIC under RC for %d of 5 "
-                "applications (paper: 3 of 5)\n",
-                pm_beats_rc);
-    return 0;
+
+    return [&runner, grid]() {
+        printBanner(
+            "Figure 3 — relative execution times under sequential "
+            "consistency (B-SC = 100)",
+            "M-SC cuts write+acquire stall on migratory apps (up to "
+            "39% on MP3D); P+M gains are additive (46% MP3D, 55% "
+            "Cholesky); P+M under SC beats BASIC-RC for 3 of 5 "
+            "applications");
+
+        int pm_beats_rc = 0;
+        for (std::size_t a = 0; a < grid.size(); ++a) {
+            std::vector<RunResult> results;
+            for (std::size_t h : grid[a].scRuns)
+                results.push_back(runner[h].run.stats);
+            const RunResult &rc = runner[grid[a].rcBaseline].run.stats;
+
+            printRelativeExecutionTimes(
+                paperApplications()[a] + " (SC; B-SC = 100)", results,
+                results.front());
+            std::printf("%-10s %8.1f   <-- BASIC under RC (the "
+                        "paper's dashed line)\n",
+                        "BASIC-RC",
+                        100.0 * rc.execTime /
+                            results.front().execTime);
+            if (results.back().execTime < rc.execTime)
+                ++pm_beats_rc;
+        }
+        std::printf("\nP+M under SC beats BASIC under RC for %d of 5 "
+                    "applications (paper: 3 of 5)\n",
+                    pm_beats_rc);
+    };
 }
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(fig3_exectime_sc,
+                 "Figure 3 — execution time under SC", 40, setup)

@@ -1,0 +1,645 @@
+#include "bench/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "sim/parse.hh"
+
+namespace cpx::bench
+{
+
+namespace
+{
+
+std::string
+networkName(const MachineParams &params)
+{
+    if (params.networkKind == NetworkKind::Uniform)
+        return "uniform";
+    return "mesh" + std::to_string(params.meshLinkBits);
+}
+
+} // anonymous namespace
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opts;
+    if (const char *env = std::getenv("CPX_SCALE"))
+        opts.scale = parsePositiveDouble(env, "CPX_SCALE");
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--scale=", 8) == 0)
+            opts.scale = parsePositiveDouble(arg + 8, "--scale");
+        else if (std::strncmp(arg, "--procs=", 8) == 0)
+            opts.procs = parsePositiveUnsigned(arg + 8, "--procs");
+        else if (std::strncmp(arg, "--jobs=", 7) == 0)
+            opts.jobs = parsePositiveUnsigned(arg + 7, "--jobs");
+        else if (std::strncmp(arg, "--seed=", 7) == 0)
+            opts.seed = parseU64(arg + 7, "--seed");
+        else if (std::strncmp(arg, "--json=", 7) == 0)
+            opts.jsonPath = arg + 7;
+        else
+            fatal("unknown option '%s' (use --scale=F --procs=N "
+                  "--jobs=N --seed=N --json=PATH)",
+                  arg);
+    }
+    return opts;
+}
+
+std::string
+describePoint(const SweepPoint &point)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s under %s / %s / %s / %u procs "
+                  "(scale %.2f, seed %llu)",
+                  point.app.c_str(),
+                  point.params.protocol.name().c_str(),
+                  point.params.consistency ==
+                          Consistency::SequentialConsistency
+                      ? "SC"
+                      : "RC",
+                  networkName(point.params).c_str(),
+                  point.params.numProcs, point.scale,
+                  static_cast<unsigned long long>(point.seed));
+    return buf;
+}
+
+SweepRunner::SweepRunner(const Options &opts_in) : opts(opts_in) {}
+
+std::size_t
+SweepRunner::add(const std::string &app, MachineParams params,
+                 const std::string &tag, unsigned procs)
+{
+    params.numProcs = procs ? procs : opts.procs;
+    SweepPoint point{app, params, tag, opts.scale, opts.seed};
+    queued.push_back(std::move(point));
+    return done.size() + queued.size() - 1;
+}
+
+void
+SweepRunner::runAll()
+{
+    if (queued.empty())
+        return;
+
+    std::vector<SweepResult> batch(queued.size());
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= queued.size())
+                return;
+            const SweepPoint &point = queued[i];
+            auto start = std::chrono::steady_clock::now();
+            System sys(point.params);
+            auto w = makeWorkload(point.app, point.scale, point.seed);
+            WorkloadRun run = runWorkload(sys, *w);
+            std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            batch[i] = SweepResult{point, std::move(run),
+                                   elapsed.count()};
+        }
+    };
+
+    unsigned jobs = opts.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min<std::size_t>(jobs, queued.size());
+
+    auto wall_start = std::chrono::steady_clock::now();
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+    hostSeconds += wall.count();
+
+    // Report verification failures only after every worker has
+    // joined: fatal() exits the process, and a failing point must
+    // name its full configuration so it can be reproduced alone.
+    std::string failures;
+    for (const SweepResult &r : batch) {
+        if (!r.run.verified)
+            failures += "\n  " + describePoint(r.point);
+    }
+    for (SweepResult &r : batch)
+        done.push_back(std::move(r));
+    queued.clear();
+    if (!failures.empty())
+        fatal("sweep point(s) failed verification:%s",
+              failures.c_str());
+}
+
+const SweepResult &
+SweepRunner::operator[](std::size_t handle) const
+{
+    if (handle >= done.size())
+        fatal("sweep handle %zu not run yet (did you call "
+              "runAll()?)",
+              handle);
+    return done[handle];
+}
+
+// --- JSON output -----------------------------------------------------------
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // JSON has no infinities or NaNs; the stats never produce them,
+    // but never emit an unparseable document if one slips through.
+    if (std::strstr(buf, "inf") || std::strstr(buf, "nan"))
+        return "null";
+    return buf;
+}
+
+std::string
+jsonNumber(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // anonymous namespace
+
+void
+writeJson(const std::string &path, const std::string &suite,
+          const Options &opts,
+          const std::vector<SweepResult> &results,
+          double total_host_seconds)
+{
+    std::ostringstream out;
+    auto str = [](const std::string &s) {
+        return "\"" + jsonEscape(s) + "\"";
+    };
+
+    char timestamp[32] = "";
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc))
+        std::strftime(timestamp, sizeof(timestamp),
+                      "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+
+    out << "{\n";
+    out << "  \"schema\": \"cpx-sweep-1\",\n";
+    out << "  \"suite\": " << str(suite) << ",\n";
+    out << "  \"timestamp\": " << str(timestamp) << ",\n";
+    out << "  \"jobs\": " << opts.jobs << ",\n";
+    out << "  \"scale\": " << jsonNumber(opts.scale) << ",\n";
+    out << "  \"procs\": " << opts.procs << ",\n";
+    out << "  \"hostSeconds\": " << jsonNumber(total_host_seconds)
+        << ",\n";
+    out << "  \"points\": [";
+
+    bool first = true;
+    for (const SweepResult &r : results) {
+        const RunResult &s = r.run.stats;
+        const MachineParams &p = r.point.params;
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\n";
+        out << "      \"tag\": " << str(r.point.tag) << ",\n";
+        out << "      \"app\": " << str(r.point.app) << ",\n";
+        out << "      \"config\": {"
+            << "\"protocol\": " << str(p.protocol.name()) << ", "
+            << "\"consistency\": " << str(s.consistency) << ", "
+            << "\"network\": " << str(networkName(p)) << ", "
+            << "\"procs\": " << p.numProcs << ", "
+            << "\"scale\": " << jsonNumber(r.point.scale) << ", "
+            << "\"seed\": " << jsonNumber(r.point.seed) << ", "
+            << "\"slcBytes\": " << p.slcBytes << ", "
+            << "\"threshold\": " << p.competitiveThreshold << ", "
+            << "\"writeCache\": "
+            << (p.writeCacheEnabled ? "true" : "false") << "},\n";
+        out << "      \"verified\": "
+            << (r.run.verified ? "true" : "false") << ",\n";
+        out << "      \"execTime\": "
+            << jsonNumber(static_cast<std::uint64_t>(r.run.execTime))
+            << ",\n";
+        out << "      \"breakdown\": {"
+            << "\"busy\": " << jsonNumber(s.busy) << ", "
+            << "\"readStall\": " << jsonNumber(s.readStall) << ", "
+            << "\"writeStall\": " << jsonNumber(s.writeStall) << ", "
+            << "\"acquireStall\": " << jsonNumber(s.acquireStall)
+            << ", "
+            << "\"releaseStall\": " << jsonNumber(s.releaseStall)
+            << "},\n";
+        out << "      \"misses\": {"
+            << "\"coldPct\": " << jsonNumber(s.coldMissRate()) << ", "
+            << "\"cohPct\": " << jsonNumber(s.cohMissRate()) << ", "
+            << "\"sharedAccesses\": " << jsonNumber(s.sharedAccesses)
+            << ", "
+            << "\"coldRead\": " << jsonNumber(s.coldReadMisses) << ", "
+            << "\"cohRead\": " << jsonNumber(s.cohReadMisses) << ", "
+            << "\"replRead\": " << jsonNumber(s.replReadMisses) << ", "
+            << "\"write\": " << jsonNumber(s.writeMissesTotal)
+            << ", "
+            << "\"avgReadLatency\": "
+            << jsonNumber(s.avgReadMissLatency) << "},\n";
+        out << "      \"traffic\": {"
+            << "\"bytes\": " << jsonNumber(s.netBytes) << ", "
+            << "\"messages\": " << jsonNumber(s.netMessages) << "},\n";
+        out << "      \"protocolEvents\": {"
+            << "\"prefetchesIssued\": "
+            << jsonNumber(s.prefetchesIssued) << ", "
+            << "\"prefetchesUseful\": "
+            << jsonNumber(s.prefetchesUseful) << ", "
+            << "\"softwarePrefetches\": "
+            << jsonNumber(s.softwarePrefetches) << ", "
+            << "\"combinedWrites\": " << jsonNumber(s.combinedWrites)
+            << ", "
+            << "\"migratoryDetections\": "
+            << jsonNumber(s.migratoryDetections) << ", "
+            << "\"invalidationsSent\": "
+            << jsonNumber(s.invalidationsSent) << "},\n";
+        out << "      \"hostSeconds\": " << jsonNumber(r.hostSeconds)
+            << "\n";
+        out << "    }";
+    }
+    out << "\n  ]\n}\n";
+
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file)
+        fatal("cannot write JSON results to '%s'", path.c_str());
+    file << out.str();
+    if (!file.flush())
+        fatal("short write to '%s'", path.c_str());
+}
+
+// --- JSON reader -----------------------------------------------------------
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    auto it = members.find(key);
+    if (it == members.end())
+        fatal("JSON object has no member '%s'", key.c_str());
+    return it->second;
+}
+
+namespace
+{
+
+struct JsonParser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    explicit JsonParser(const std::string &t) : text(t) {}
+
+    bool
+    fail(const std::string &why)
+    {
+        if (error.empty())
+            error = why + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    parseLiteral(const char *lit)
+    {
+        std::size_t n = std::strlen(lit);
+        if (text.compare(pos, n, lit) != 0)
+            return fail(std::string("bad literal (expected ") + lit +
+                        ")");
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("unterminated escape");
+                char e = text[pos++];
+                switch (e) {
+                  case '"':  out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/':  out += '/'; break;
+                  case 'b':  out += '\b'; break;
+                  case 'f':  out += '\f'; break;
+                  case 'n':  out += '\n'; break;
+                  case 'r':  out += '\r'; break;
+                  case 't':  out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= h - 'A' + 10;
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // Our documents only escape control characters;
+                    // encode the BMP code point as UTF-8.
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xc0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (cp >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((cp >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            skipSpace();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                out.members.emplace(std::move(key),
+                                    std::move(member));
+                skipSpace();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    skipSpace();
+                    continue;
+                }
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            skipSpace();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                JsonValue item;
+                if (!parseValue(item))
+                    return false;
+                out.items.push_back(std::move(item));
+                skipSpace();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return parseLiteral("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return parseLiteral("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return parseLiteral("null");
+        }
+        // Number.
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("unexpected character");
+        char *end = nullptr;
+        std::string num = text.substr(start, pos - start);
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(num.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("malformed number '" + num + "'");
+        return true;
+    }
+};
+
+} // anonymous namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    JsonParser parser(text);
+    if (!parser.parseValue(out)) {
+        error = parser.error;
+        return false;
+    }
+    parser.skipSpace();
+    if (parser.pos != text.size()) {
+        error = "trailing garbage at offset " +
+                std::to_string(parser.pos);
+        return false;
+    }
+    return true;
+}
+
+bool
+validateResultsFile(const std::string &path, std::string &error)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+
+    JsonValue doc;
+    if (!parseJson(text.str(), doc, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    if (doc.kind != JsonValue::Kind::Object ||
+        !doc.has("schema") ||
+        doc.at("schema").text != "cpx-sweep-1") {
+        error = path + ": missing cpx-sweep-1 schema marker";
+        return false;
+    }
+    if (!doc.has("points") ||
+        doc.at("points").kind != JsonValue::Kind::Array ||
+        doc.at("points").items.empty()) {
+        error = path + ": no sweep points recorded";
+        return false;
+    }
+    for (const JsonValue &point : doc.at("points").items) {
+        if (point.kind != JsonValue::Kind::Object ||
+            !point.has("verified") || !point.has("app") ||
+            !point.has("config") || !point.has("execTime")) {
+            error = path + ": malformed sweep point";
+            return false;
+        }
+        if (!point.at("verified").boolean) {
+            error = path + ": unverified sweep point '" +
+                    (point.has("tag") ? point.at("tag").text
+                                      : std::string()) +
+                    "' app=" + point.at("app").text;
+            return false;
+        }
+    }
+    return true;
+}
+
+// --- bench-module registry -------------------------------------------------
+
+namespace
+{
+
+std::vector<BenchDef> &
+mutableRegistry()
+{
+    static std::vector<BenchDef> registry;
+    return registry;
+}
+
+} // anonymous namespace
+
+detail::BenchRegistrar::BenchRegistrar(const BenchDef &def)
+{
+    mutableRegistry().push_back(def);
+}
+
+const std::vector<BenchDef> &
+benchRegistry()
+{
+    std::vector<BenchDef> &registry = mutableRegistry();
+    std::stable_sort(registry.begin(), registry.end(),
+                     [](const BenchDef &a, const BenchDef &b) {
+                         return a.order < b.order;
+                     });
+    return registry;
+}
+
+int
+standaloneMain(int argc, char **argv, const BenchDef &def)
+{
+    Options opts = parseOptions(argc, argv);
+    SweepRunner runner(opts);
+    RenderFn render = def.setup(runner, opts);
+    runner.runAll();
+    if (render)
+        render();
+    if (!opts.jsonPath.empty())
+        writeJson(opts.jsonPath, def.name, opts, runner.results(),
+                  runner.totalHostSeconds());
+    return 0;
+}
+
+} // namespace cpx::bench

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Parallel sweep runner for the benchmark harness.
+ *
+ * Every bench target regenerates one paper table/figure from a grid
+ * of (application × machine configuration) simulations. Each
+ * simulation is single-threaded and deterministic (DESIGN.md §8), so
+ * the grid is embarrassingly parallel across host threads. The
+ * SweepRunner fans queued points out over a bounded thread pool
+ * (--jobs=N) and collects per-point results in queue order, so the
+ * rendered tables — and the emitted JSON — are bit-identical to a
+ * serial run regardless of the job count.
+ *
+ * Bench targets use it in two phases:
+ *
+ *   SweepRunner runner(opts);
+ *   auto h = runner.add("mp3d", makeParams(ProtocolConfig::pcw()));
+ *   ... queue the whole grid ...
+ *   runner.runAll();                  // the only parallel section
+ *   const SweepResult &r = runner[h]; // render tables
+ *
+ * Each bench module registers itself with CPX_BENCH_DEFINE so the
+ * combined driver (tools/cpxbench) can run every table and figure
+ * through one shared pool and write one BENCH_results.json.
+ */
+
+#ifndef CPX_BENCH_RUNNER_HH
+#define CPX_BENCH_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "workloads/workload.hh"
+
+namespace cpx::bench
+{
+
+/** Harness-wide options shared by every bench target. */
+struct Options
+{
+    double scale = 1.0;       //!< workload problem-size multiplier
+    unsigned procs = 16;      //!< simulated processors per system
+    unsigned jobs = 0;        //!< host threads; 0 = hardware_concurrency
+    std::uint64_t seed = 1;   //!< workload seed (seeded workloads only)
+    std::string jsonPath;     //!< --json=PATH; empty = no JSON output
+};
+
+/**
+ * Parse the options every bench binary accepts:
+ *   --scale=F --procs=N --jobs=N --seed=N --json=PATH
+ * (CPX_SCALE in the environment seeds the default scale.)
+ * Numbers are checked: malformed values, trailing garbage and zero
+ * procs/jobs are fatal.
+ */
+Options parseOptions(int argc, char **argv);
+
+/** One queued (application × machine) configuration. */
+struct SweepPoint
+{
+    std::string app;
+    MachineParams params;
+    std::string tag;          //!< label in tables/JSON, e.g. "fig2"
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+};
+
+/** One finished configuration. */
+struct SweepResult
+{
+    SweepPoint point;
+    WorkloadRun run;
+    double hostSeconds = 0;   //!< host wall-time for this point
+};
+
+/** "mp3d under P+CW/RC/uniform/16p (scale 1.00, seed 1)" */
+std::string describePoint(const SweepPoint &point);
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const Options &opts);
+
+    /**
+     * Queue one configuration and return its handle. @p params
+     * inherits opts.procs unless @p procs overrides it (0 = inherit);
+     * the point inherits opts.scale and opts.seed.
+     * @pre runAll() has not been called yet for this point's batch
+     */
+    std::size_t add(const std::string &app, MachineParams params,
+                    const std::string &tag = "", unsigned procs = 0);
+
+    /**
+     * Run every queued-but-unfinished point across the thread pool;
+     * blocks until all are done. fatal()s — after all workers have
+     * joined — if any point failed verification, naming each failing
+     * configuration in full. Callable repeatedly: points added after
+     * a runAll() form the next batch.
+     */
+    void runAll();
+
+    /** Result of a finished point. @pre handle's batch has run */
+    const SweepResult &operator[](std::size_t handle) const;
+
+    /** All finished results, in add() order. */
+    const std::vector<SweepResult> &results() const { return done; }
+
+    /** Host wall-time of all runAll() calls so far, in seconds. */
+    double totalHostSeconds() const { return hostSeconds; }
+
+    const Options &options() const { return opts; }
+
+  private:
+    Options opts;
+    std::vector<SweepPoint> queued;   //!< not yet run
+    std::vector<SweepResult> done;    //!< finished, add() order
+    double hostSeconds = 0;
+};
+
+/**
+ * Write @p results as a machine-readable JSON document (see
+ * DESIGN.md §11 for the schema). @p suite names the producing
+ * harness ("cpxbench" or an individual bench target).
+ */
+void writeJson(const std::string &path, const std::string &suite,
+               const Options &opts,
+               const std::vector<SweepResult> &results,
+               double total_host_seconds);
+
+// --- minimal JSON reader (validation / round-trip tests) -------------------
+
+/** A parsed JSON value: exactly one of the members is active. */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+
+    bool has(const std::string &key) const { return members.count(key); }
+    const JsonValue &at(const std::string &key) const;
+};
+
+/**
+ * Parse a JSON document. On success returns true and fills @p out;
+ * on malformed input returns false and fills @p error.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+/**
+ * Load and validate a sweep-results JSON file: parseable, carries
+ * the cpx-sweep schema marker, and every point verified. Returns
+ * true on success; otherwise fills @p error.
+ */
+bool validateResultsFile(const std::string &path, std::string &error);
+
+// --- bench-module registry -------------------------------------------------
+
+/** Called after runAll() to print the target's paper-style tables. */
+using RenderFn = std::function<void()>;
+
+/**
+ * Queue the target's sweep grid on @p runner and return the closure
+ * that renders its tables once the grid has run.
+ */
+using SetupFn = RenderFn (*)(SweepRunner &runner, const Options &opts);
+
+struct BenchDef
+{
+    const char *name;         //!< binary name, e.g. "fig2_exectime_rc"
+    const char *title;        //!< one-line description for --list
+    int order;                //!< position in the cpxbench suite
+    SetupFn setup;
+};
+
+/** Every bench module linked into this binary, sorted by order. */
+const std::vector<BenchDef> &benchRegistry();
+
+namespace detail
+{
+struct BenchRegistrar
+{
+    BenchRegistrar(const BenchDef &def);
+};
+} // namespace detail
+
+/**
+ * Shared main() for a standalone bench binary: parse options, run
+ * the module's grid, render, optionally write JSON.
+ */
+int standaloneMain(int argc, char **argv, const BenchDef &def);
+
+/**
+ * Define one bench module. Registers it for tools/cpxbench; when the
+ * translation unit is compiled with CPX_BENCH_STANDALONE (the
+ * per-target bench binaries), also emits a main().
+ */
+#ifdef CPX_BENCH_STANDALONE
+#define CPX_BENCH_DEFINE(id, title_, order_, setup_)                    \
+    static const ::cpx::bench::BenchDef benchDef_##id{                  \
+        #id, title_, order_, setup_};                                   \
+    static const ::cpx::bench::detail::BenchRegistrar                   \
+        benchRegistrar_##id{benchDef_##id};                             \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        return ::cpx::bench::standaloneMain(argc, argv,                 \
+                                            benchDef_##id);             \
+    }
+#else
+#define CPX_BENCH_DEFINE(id, title_, order_, setup_)                    \
+    static const ::cpx::bench::BenchDef benchDef_##id{                  \
+        #id, title_, order_, setup_};                                   \
+    static const ::cpx::bench::detail::BenchRegistrar                   \
+        benchRegistrar_##id{benchDef_##id};
+#endif
+
+} // namespace cpx::bench
+
+#endif // CPX_BENCH_RUNNER_HH

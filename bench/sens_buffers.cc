@@ -10,44 +10,74 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Sensitivity (§5.4) — 4-entry FLWB/SLWB vs the default "
-        "8/16 (RC; percent slowdown from shrinking the buffers)",
-        "only BASIC and P suffer from the small buffers (pending "
-        "write requests); CW, M and their combinations are "
-        "insensitive — P+CW and P+M need less buffering than BASIC");
+using namespace cpx;
+using namespace cpx::bench;
 
-    const ProtocolConfig protos[] = {
+const std::vector<ProtocolConfig> &
+sensProtocols()
+{
+    static const std::vector<ProtocolConfig> protos{
         ProtocolConfig::basic(), ProtocolConfig::p(),
         ProtocolConfig::cw(),    ProtocolConfig::m(),
         ProtocolConfig::pcw(),   ProtocolConfig::pm()};
+    return protos;
+}
 
-    std::printf("%-10s", "protocol");
-    for (const std::string &app : paperApplications())
-        std::printf(" %9s", app.c_str());
-    std::printf("\n");
-
-    for (const ProtocolConfig &proto : protos) {
-        std::printf("%-10s", proto.name().c_str());
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
+    struct Pair
+    {
+        std::size_t big, small;
+    };
+    // protocol-index -> app-index -> {default buffers, 4-entry}.
+    std::vector<std::vector<Pair>> grid;
+    for (const ProtocolConfig &proto : sensProtocols()) {
+        std::vector<Pair> row;
         for (const std::string &app : paperApplications()) {
             MachineParams big = makeParams(proto);
             MachineParams small = makeParams(proto);
             small.flwbEntries = 4;
             small.slwbEntries = 4;
-            Tick t_big = bench::runOne(app, big, opts).execTime;
-            Tick t_small = bench::runOne(app, small, opts).execTime;
-            std::printf(" %+8.1f%%",
-                        100.0 * (static_cast<double>(t_small) -
-                                 static_cast<double>(t_big)) /
-                            static_cast<double>(t_big));
+            row.push_back(
+                Pair{runner.add(app, big, "sens_buffers/default"),
+                     runner.add(app, small, "sens_buffers/4-entry")});
         }
-        std::printf("\n");
+        grid.push_back(std::move(row));
     }
-    return 0;
+
+    return [&runner, grid]() {
+        printBanner(
+            "Sensitivity (§5.4) — 4-entry FLWB/SLWB vs the default "
+            "8/16 (RC; percent slowdown from shrinking the buffers)",
+            "only BASIC and P suffer from the small buffers (pending "
+            "write requests); CW, M and their combinations are "
+            "insensitive — P+CW and P+M need less buffering than "
+            "BASIC");
+
+        std::printf("%-10s", "protocol");
+        for (const std::string &app : paperApplications())
+            std::printf(" %9s", app.c_str());
+        std::printf("\n");
+
+        for (std::size_t p = 0; p < grid.size(); ++p) {
+            std::printf("%-10s", sensProtocols()[p].name().c_str());
+            for (const Pair &pair : grid[p]) {
+                Tick t_big = runner[pair.big].run.execTime;
+                Tick t_small = runner[pair.small].run.execTime;
+                std::printf(" %+8.1f%%",
+                            100.0 * (static_cast<double>(t_small) -
+                                     static_cast<double>(t_big)) /
+                                static_cast<double>(t_big));
+            }
+            std::printf("\n");
+        }
+    };
 }
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(sens_buffers, "§5.4 — buffer sensitivity", 70, setup)

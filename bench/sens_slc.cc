@@ -10,44 +10,74 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Sensitivity (§5.4) — finite 16 KB SLC vs infinite (RC; "
-        "execution time relative to BASIC at the same SLC size)",
-        "combinations that win with infinite caches win with finite "
-        "caches too; P is even more effective because it removes "
-        "replacement misses");
+using namespace cpx;
+using namespace cpx::bench;
 
-    const ProtocolConfig protos[] = {
+const std::vector<ProtocolConfig> &
+slcProtocols()
+{
+    static const std::vector<ProtocolConfig> protos{
         ProtocolConfig::basic(), ProtocolConfig::p(),
         ProtocolConfig::pcw(), ProtocolConfig::pm()};
+    return protos;
+}
 
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
+    struct Pair
+    {
+        std::size_t infinite, finite;
+    };
+    // app-index -> protocol-index -> {infinite SLC, 16 KB SLC}.
+    std::vector<std::vector<Pair>> grid;
     for (const std::string &app : paperApplications()) {
-        std::printf("\n%s:\n%-10s %12s %12s %18s\n", app.c_str(),
-                    "protocol", "infinite", "16KB", "repl.misses@16KB");
-        Tick base_inf = 0, base_fin = 0;
-        for (const ProtocolConfig &proto : protos) {
+        std::vector<Pair> row;
+        for (const ProtocolConfig &proto : slcProtocols()) {
             MachineParams inf = makeParams(proto);
             MachineParams fin = makeParams(proto);
             fin.slcBytes = 16 * 1024;
-            WorkloadRun ri = bench::runOne(app, inf, opts);
-            WorkloadRun rf = bench::runOne(app, fin, opts);
-            if (proto.name() == "BASIC") {
-                base_inf = ri.execTime;
-                base_fin = rf.execTime;
-            }
-            std::printf("%-10s %11.1f%% %11.1f%% %18llu\n",
-                        proto.name().c_str(),
-                        100.0 * ri.execTime / base_inf,
-                        100.0 * rf.execTime / base_fin,
-                        static_cast<unsigned long long>(
-                            rf.stats.replReadMisses));
+            row.push_back(
+                Pair{runner.add(app, inf, "sens_slc/infinite"),
+                     runner.add(app, fin, "sens_slc/16KB")});
         }
+        grid.push_back(std::move(row));
     }
-    return 0;
+
+    return [&runner, grid]() {
+        printBanner(
+            "Sensitivity (§5.4) — finite 16 KB SLC vs infinite (RC; "
+            "execution time relative to BASIC at the same SLC size)",
+            "combinations that win with infinite caches win with "
+            "finite caches too; P is even more effective because it "
+            "removes replacement misses");
+
+        for (std::size_t a = 0; a < grid.size(); ++a) {
+            std::printf("\n%s:\n%-10s %12s %12s %18s\n",
+                        paperApplications()[a].c_str(), "protocol",
+                        "infinite", "16KB", "repl.misses@16KB");
+            Tick base_inf = 0, base_fin = 0;
+            for (std::size_t p = 0; p < grid[a].size(); ++p) {
+                const SweepResult &ri = runner[grid[a][p].infinite];
+                const SweepResult &rf = runner[grid[a][p].finite];
+                if (slcProtocols()[p].name() == "BASIC") {
+                    base_inf = ri.run.execTime;
+                    base_fin = rf.run.execTime;
+                }
+                std::printf("%-10s %11.1f%% %11.1f%% %18llu\n",
+                            slcProtocols()[p].name().c_str(),
+                            100.0 * ri.run.execTime / base_inf,
+                            100.0 * rf.run.execTime / base_fin,
+                            static_cast<unsigned long long>(
+                                rf.run.stats.replReadMisses));
+            }
+        }
+    };
 }
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(sens_slc, "§5.4 — finite SLC", 80, setup)

@@ -6,7 +6,7 @@
  * This is a static cost model — the numbers come from the protocol
  * definitions, exactly as in the paper: state bits per SLC line,
  * state bits per memory line, extra per-cache mechanisms, and the
- * SLWB features each extension needs.
+ * SLWB features each extension needs. It queues no simulations.
  */
 
 #include <cmath>
@@ -18,6 +18,7 @@ namespace
 {
 
 using namespace cpx;
+using namespace cpx::bench;
 
 struct HwCost
 {
@@ -58,43 +59,43 @@ costOf(const ProtocolConfig &proto, unsigned num_nodes)
     return c;
 }
 
+RenderFn
+setup(SweepRunner &, const Options &opts)
+{
+    return [opts]() {
+        printBanner(
+            "Table 1 — hardware cost of BASIC and each extension",
+            "BASIC: 2 bits/SLC line, N+3 bits/memory line; P adds 2 "
+            "bits/line + 3 counters; M adds 1 state + migratory bit + "
+            "log2(N) pointer; CW adds a 1-bit counter + 4-block write "
+            "cache");
+
+        std::printf("%-8s %14s %16s\n", "config", "SLC line bits",
+                    "memory line bits");
+        for (const ProtocolConfig &proto :
+             {ProtocolConfig::basic(), ProtocolConfig::p(),
+              ProtocolConfig::m(), ProtocolConfig::cw(),
+              ProtocolConfig::pcw(), ProtocolConfig::pm(),
+              ProtocolConfig::pcwm()}) {
+            HwCost c = costOf(proto, opts.procs);
+            std::printf("%-8s %14u %16u\n", proto.name().c_str(),
+                        c.slcLineBits, c.memLineBits);
+        }
+
+        std::printf("\nper-extension mechanisms:\n");
+        std::printf("  P : 3 modulo-16 counters per cache; prefetches "
+                    "buffered in the SLWB\n");
+        std::printf("  M : migratory bit + log2(N)-bit last-writer "
+                    "pointer per memory line;\n"
+                    "      extra cache state to disable the "
+                    "optimization on pattern change\n");
+        std::printf("  CW: modulo-2 competitive counter per line; "
+                    "4-block write cache with\n"
+                    "      per-word dirty bits; SLWB entries hold a "
+                    "block\n");
+    };
+}
+
 } // anonymous namespace
 
-int
-main(int argc, char **argv)
-{
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
-
-    bench::printBanner(
-        "Table 1 — hardware cost of BASIC and each extension",
-        "BASIC: 2 bits/SLC line, N+3 bits/memory line; P adds 2 "
-        "bits/line + 3 counters; M adds 1 state + migratory bit + "
-        "log2(N) pointer; CW adds a 1-bit counter + 4-block write "
-        "cache");
-
-    std::printf("%-8s %14s %16s\n", "config", "SLC line bits",
-                "memory line bits");
-    for (const ProtocolConfig &proto :
-         {ProtocolConfig::basic(), ProtocolConfig::p(),
-          ProtocolConfig::m(), ProtocolConfig::cw(),
-          ProtocolConfig::pcw(), ProtocolConfig::pm(),
-          ProtocolConfig::pcwm()}) {
-        HwCost c = costOf(proto, opts.procs);
-        std::printf("%-8s %14u %16u\n", proto.name().c_str(),
-                    c.slcLineBits, c.memLineBits);
-    }
-
-    std::printf("\nper-extension mechanisms:\n");
-    std::printf("  P : 3 modulo-16 counters per cache; prefetches "
-                "buffered in the SLWB\n");
-    std::printf("  M : migratory bit + log2(N)-bit last-writer "
-                "pointer per memory line;\n"
-                "      extra cache state to disable the optimization "
-                "on pattern change\n");
-    std::printf("  CW: modulo-2 competitive counter per line; "
-                "4-block write cache with\n"
-                "      per-word dirty bits; SLWB entries hold a "
-                "block\n");
-    return 0;
-}
+CPX_BENCH_DEFINE(table1_hwcost, "Table 1 — hardware cost", 10, setup)

@@ -13,51 +13,74 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Table 2 — cold / coherence miss rates (percent of shared "
-        "accesses)",
-        "P cuts cold rates hard (LU 0.97->0.22, Cholesky 0.90->0.19) "
-        "but not coherence; CW cuts coherence but not cold; P+CW "
-        "combines both cuts");
+using namespace cpx;
+using namespace cpx::bench;
 
-    const ProtocolConfig protos[] = {
+const std::vector<ProtocolConfig> &
+table2Protocols()
+{
+    static const std::vector<ProtocolConfig> protos{
         ProtocolConfig::basic(), ProtocolConfig::p(),
         ProtocolConfig::cw(), ProtocolConfig::pcw()};
-
-    std::printf("%-10s", "app");
-    for (const auto &proto : protos)
-        std::printf(" | %6s cold  coh", proto.name().c_str());
-    std::printf("\n");
-
-    for (const std::string &app : paperApplications()) {
-        std::printf("%-10s", app.c_str());
-        for (const auto &proto : protos) {
-            MachineParams params = makeParams(proto);
-            RunResult r = bench::runOne(app, params, opts).stats;
-            std::printf(" |       %5.2f %5.2f", r.coldMissRate(),
-                        r.cohMissRate());
-        }
-        std::printf("\n");
-    }
-
-    std::printf("\navg read-miss service time (pclocks), BASIC vs "
-                "CW (paper: 41%% shorter for MP3D under CW):\n");
-    for (const std::string &app : paperApplications()) {
-        MachineParams basic = makeParams(ProtocolConfig::basic());
-        MachineParams cw = makeParams(ProtocolConfig::cw());
-        double lb = bench::runOne(app, basic, opts)
-                        .stats.avgReadMissLatency;
-        double lc =
-            bench::runOne(app, cw, opts).stats.avgReadMissLatency;
-        std::printf("  %-10s BASIC %6.1f  CW %6.1f  (%+.0f%%)\n",
-                    app.c_str(), lb, lc,
-                    lb > 0 ? 100.0 * (lc - lb) / lb : 0.0);
-    }
-    return 0;
+    return protos;
 }
+
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
+    // app -> protocol-index -> handle (BASIC and CW double as the
+    // read-miss-latency comparison rows).
+    std::vector<std::vector<std::size_t>> grid;
+    for (const std::string &app : paperApplications()) {
+        std::vector<std::size_t> row;
+        for (const ProtocolConfig &proto : table2Protocols())
+            row.push_back(runner.add(app, makeParams(proto),
+                                     "table2/" + app));
+        grid.push_back(std::move(row));
+    }
+
+    return [&runner, grid]() {
+        printBanner(
+            "Table 2 — cold / coherence miss rates (percent of "
+            "shared accesses)",
+            "P cuts cold rates hard (LU 0.97->0.22, Cholesky "
+            "0.90->0.19) but not coherence; CW cuts coherence but "
+            "not cold; P+CW combines both cuts");
+
+        std::printf("%-10s", "app");
+        for (const auto &proto : table2Protocols())
+            std::printf(" | %6s cold  coh", proto.name().c_str());
+        std::printf("\n");
+
+        for (std::size_t a = 0; a < grid.size(); ++a) {
+            std::printf("%-10s", paperApplications()[a].c_str());
+            for (std::size_t h : grid[a]) {
+                const RunResult &r = runner[h].run.stats;
+                std::printf(" |       %5.2f %5.2f", r.coldMissRate(),
+                            r.cohMissRate());
+            }
+            std::printf("\n");
+        }
+
+        std::printf("\navg read-miss service time (pclocks), BASIC "
+                    "vs CW (paper: 41%% shorter for MP3D under "
+                    "CW):\n");
+        for (std::size_t a = 0; a < grid.size(); ++a) {
+            // Column 0 is BASIC, column 2 is CW.
+            double lb = runner[grid[a][0]].run.stats
+                            .avgReadMissLatency;
+            double lc = runner[grid[a][2]].run.stats
+                            .avgReadMissLatency;
+            std::printf("  %-10s BASIC %6.1f  CW %6.1f  (%+.0f%%)\n",
+                        paperApplications()[a].c_str(), lb, lc,
+                        lb > 0 ? 100.0 * (lc - lb) / lb : 0.0);
+        }
+    };
+}
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(table2_missrates, "Table 2 — miss rates", 30, setup)

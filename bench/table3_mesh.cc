@@ -10,63 +10,76 @@
 
 #include "bench/common.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace cpx;
-    auto opts = bench::parseOptions(argc, argv);
 
-    bench::printBanner(
-        "Table 3 — execution-time ratio vs BASIC on wormhole meshes "
-        "(percent; lower is better)",
-        "P+CW's advantage shrinks (or inverts, e.g. MP3D 69%->109%) "
-        "as links narrow to 16 bits; P+M's ratios are nearly "
-        "link-width-insensitive");
+using namespace cpx;
+using namespace cpx::bench;
 
-    const unsigned widths[] = {64, 32, 16};
-    const ProtocolConfig protos[] = {ProtocolConfig::pcw(),
-                                     ProtocolConfig::pm()};
+RenderFn
+setup(SweepRunner &runner, const Options &)
+{
+    const std::vector<unsigned> widths{64, 32, 16};
+    const std::vector<ProtocolConfig> protos{ProtocolConfig::pcw(),
+                                             ProtocolConfig::pm()};
 
-    // proto-name -> width -> app -> exec time (BASIC included).
+    // proto-name -> width -> app -> handle (BASIC included).
     std::map<std::string,
-             std::map<unsigned, std::map<std::string, Tick>>>
-        times;
+             std::map<unsigned, std::map<std::string, std::size_t>>>
+        handles;
     for (unsigned bits : widths) {
+        std::string tag = "table3/mesh" + std::to_string(bits);
         for (const std::string &app : paperApplications()) {
-            MachineParams base =
+            handles["BASIC"][bits][app] = runner.add(
+                app,
                 makeParams(ProtocolConfig::basic(),
                            Consistency::ReleaseConsistency,
-                           NetworkKind::Mesh, bits);
-            times["BASIC"][bits][app] =
-                bench::runOne(app, base, opts).execTime;
+                           NetworkKind::Mesh, bits),
+                tag);
             for (const ProtocolConfig &proto : protos) {
-                MachineParams ext =
+                handles[proto.name()][bits][app] = runner.add(
+                    app,
                     makeParams(proto,
                                Consistency::ReleaseConsistency,
-                               NetworkKind::Mesh, bits);
-                times[proto.name()][bits][app] =
-                    bench::runOne(app, ext, opts).execTime;
+                               NetworkKind::Mesh, bits),
+                    tag);
             }
         }
     }
 
-    for (const ProtocolConfig &proto : protos) {
-        std::printf("\n%s / BASIC:\n%-8s", proto.name().c_str(),
-                    "links");
-        for (const std::string &app : paperApplications())
-            std::printf(" %9s", app.c_str());
-        std::printf("\n");
-        for (unsigned bits : widths) {
-            std::printf("%2u-bit  ", bits);
-            for (const std::string &app : paperApplications()) {
-                double tb = static_cast<double>(
-                    times["BASIC"][bits][app]);
-                double te = static_cast<double>(
-                    times[proto.name()][bits][app]);
-                std::printf(" %8.0f%%", 100.0 * te / tb);
-            }
+    return [&runner, handles, widths, protos]() {
+        printBanner(
+            "Table 3 — execution-time ratio vs BASIC on wormhole "
+            "meshes (percent; lower is better)",
+            "P+CW's advantage shrinks (or inverts, e.g. MP3D "
+            "69%->109%) as links narrow to 16 bits; P+M's ratios are "
+            "nearly link-width-insensitive");
+
+        for (const ProtocolConfig &proto : protos) {
+            std::printf("\n%s / BASIC:\n%-8s", proto.name().c_str(),
+                        "links");
+            for (const std::string &app : paperApplications())
+                std::printf(" %9s", app.c_str());
             std::printf("\n");
+            for (unsigned bits : widths) {
+                std::printf("%2u-bit  ", bits);
+                for (const std::string &app : paperApplications()) {
+                    double tb = static_cast<double>(
+                        runner[handles.at("BASIC").at(bits).at(app)]
+                            .run.execTime);
+                    double te = static_cast<double>(
+                        runner[handles.at(proto.name())
+                                   .at(bits)
+                                   .at(app)]
+                            .run.execTime);
+                    std::printf(" %8.0f%%", 100.0 * te / tb);
+                }
+                std::printf("\n");
+            }
         }
-    }
-    return 0;
+    };
 }
+
+} // anonymous namespace
+
+CPX_BENCH_DEFINE(table3_mesh, "Table 3 — mesh contention", 50, setup)

@@ -35,6 +35,7 @@ collectStats(System &sys, Tick exec_time)
                               slc.writeMisses(MissKind::Replacement);
         r.prefetchesIssued += slc.prefetchEngine().issued();
         r.prefetchesUseful += slc.prefetchEngine().useful();
+        r.softwarePrefetches += slc.softwarePrefetches();
         r.combinedWrites +=
             slc.writeCacheUnit().combinedWrites().value();
         r.counterInvalidations += slc.counterInvalidations();

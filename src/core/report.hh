@@ -56,6 +56,7 @@ struct RunResult
     std::uint64_t migratoryDetections = 0;
     std::uint64_t prefetchesIssued = 0;
     std::uint64_t prefetchesUseful = 0;
+    std::uint64_t softwarePrefetches = 0;
     std::uint64_t combinedWrites = 0;       //!< CW write-cache merges
     std::uint64_t counterInvalidations = 0; //!< CW competitive expiries
     double avgReadMissLatency = 0;

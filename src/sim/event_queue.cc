@@ -7,7 +7,17 @@ namespace cpx
 
 EventQueue::EventQueue()
 {
+    // Thread-local: each host thread's traces are stamped by the
+    // queue of the System running on that thread.
     Logger::setTickSource(&now_);
+}
+
+EventQueue::~EventQueue()
+{
+    // Drop the tick source only if it still points at this queue, so
+    // destroying an older System never dangles or clobbers a newer
+    // one constructed on the same thread.
+    Logger::clearTickSource(&now_);
 }
 
 void

@@ -34,6 +34,10 @@ class EventQueue
     using Callback = std::function<void()>;
 
     EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /**
      * Schedule @p cb to run at absolute time @p when.

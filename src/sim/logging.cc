@@ -7,7 +7,7 @@ namespace cpx
 
 bool Logger::allEnabled = false;
 std::unordered_set<std::string> Logger::enabledTags;
-const std::uint64_t *Logger::tickSource = nullptr;
+thread_local const std::uint64_t *Logger::tickSource = nullptr;
 
 void
 Logger::enable(const std::string &tag)
@@ -38,6 +38,13 @@ void
 Logger::setTickSource(const std::uint64_t *tick_ptr)
 {
     tickSource = tick_ptr;
+}
+
+void
+Logger::clearTickSource(const std::uint64_t *tick_ptr)
+{
+    if (tickSource == tick_ptr)
+        tickSource = nullptr;
 }
 
 void

@@ -47,14 +47,24 @@ class Logger
 
     /**
      * Hook used by trace() to prefix messages with simulated time.
-     * The event queue installs itself here on construction.
+     * The event queue installs itself here on construction and
+     * clears it on destruction. The pointer is thread-local so that
+     * independent Systems running on separate host threads (the
+     * sweep runner, bench/runner.hh) each stamp their own ticks.
      */
     static void setTickSource(const std::uint64_t *tick_ptr);
+
+    /**
+     * Remove @p tick_ptr as this thread's tick source, if it is
+     * still installed. A later-constructed queue on the same thread
+     * may have replaced it; in that case the newer source stays.
+     */
+    static void clearTickSource(const std::uint64_t *tick_ptr);
 
   private:
     static bool allEnabled;
     static std::unordered_set<std::string> enabledTags;
-    static const std::uint64_t *tickSource;
+    static thread_local const std::uint64_t *tickSource;
 };
 
 /** Report an internal simulator bug and abort. */

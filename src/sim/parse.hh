@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Checked command-line number parsing.
+ *
+ * The drivers and the bench harness used to parse numeric options
+ * with bare atoi()/atof(), which silently turn `--procs=abc` into 0
+ * and accept trailing garbage (`--scale=1.5x`). These helpers
+ * fatal() with the option name on malformed input instead, so a typo
+ * in a sweep invocation dies loudly rather than simulating the wrong
+ * machine.
+ */
+
+#ifndef CPX_SIM_PARSE_HH
+#define CPX_SIM_PARSE_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+/** Parse an unsigned integer; fatal() on malformed/overflowing text. */
+inline std::uint64_t
+parseU64(const char *text, const char *option)
+{
+    if (!text || !*text)
+        fatal("%s: empty value (expected a number)", option);
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0')
+        fatal("%s: malformed number '%s'", option, text);
+    if (errno == ERANGE)
+        fatal("%s: value '%s' out of range", option, text);
+    if (text[0] == '-')
+        fatal("%s: negative value '%s'", option, text);
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Parse an unsigned int that fits in `unsigned`. */
+inline unsigned
+parseUnsigned(const char *text, const char *option)
+{
+    std::uint64_t v = parseU64(text, option);
+    if (v > 0xffffffffu)
+        fatal("%s: value '%s' out of range", option, text);
+    return static_cast<unsigned>(v);
+}
+
+/** Parse an unsigned int that must be strictly positive. */
+inline unsigned
+parsePositiveUnsigned(const char *text, const char *option)
+{
+    unsigned v = parseUnsigned(text, option);
+    if (v == 0)
+        fatal("%s: must be positive", option);
+    return v;
+}
+
+/** Parse a double; fatal() on malformed text or trailing garbage. */
+inline double
+parseDouble(const char *text, const char *option)
+{
+    if (!text || !*text)
+        fatal("%s: empty value (expected a number)", option);
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        fatal("%s: malformed number '%s'", option, text);
+    if (errno == ERANGE)
+        fatal("%s: value '%s' out of range", option, text);
+    return v;
+}
+
+/** Parse a double that must be strictly positive. */
+inline double
+parsePositiveDouble(const char *text, const char *option)
+{
+    double v = parseDouble(text, option);
+    if (!(v > 0.0))
+        fatal("%s: must be positive", option);
+    return v;
+}
+
+} // namespace cpx
+
+#endif // CPX_SIM_PARSE_HH

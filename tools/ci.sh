@@ -1,7 +1,8 @@
 #!/bin/sh
 # Continuous-integration driver: plain build + tests, sanitized build
-# + tests, and a short seeded stress pass under the coherence checker
-# with chaos-network fault injection.
+# + tests, a short seeded stress pass under the coherence checker
+# with chaos-network fault injection, and a parallel harness smoke
+# sweep whose JSON results are validated.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -eu
@@ -36,4 +37,18 @@ for seed in 3 17; do
         echo "   stress $proto seed=$seed OK"
     done
 done
+
+# Harness smoke sweep: the whole table/figure suite at reduced scale
+# over two host threads. --check-json fails the build if the results
+# file is missing, unparseable, or reports any unverified point.
+echo "== harness smoke sweep (cpxbench)"
+bench_json="$root/$prefix/BENCH_smoke.json"
+rm -f "$bench_json"
+"$root/$prefix/tools/cpxbench" --smoke --jobs=2 \
+    --json="$bench_json" >/dev/null
+test -s "$bench_json" || {
+    echo "cpxbench smoke run produced no JSON" >&2
+    exit 1
+}
+"$root/$prefix/tools/cpxbench" --check-json="$bench_json"
 echo "== CI green"

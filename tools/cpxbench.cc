@@ -1,0 +1,151 @@
+/**
+ * @file
+ * cpxbench — run the whole paper harness in one command.
+ *
+ * Queues the sweep grids of every bench target (Tables 1-3, Figures
+ * 2-4, the sensitivity studies and the ablations) on one shared
+ * thread pool, renders each target's paper-style text tables in
+ * canonical order, and writes one machine-readable JSON document
+ * with every sweep point for trend tracking.
+ *
+ *   cpxbench --jobs=8 --json=BENCH_results.json
+ *
+ * Options:
+ *   --jobs=N        host worker threads (default hardware_concurrency)
+ *   --json=PATH     JSON results file     (default BENCH_results.json)
+ *   --scale=F       workload problem-size multiplier (default 1.0)
+ *   --procs=N       simulated processors per system  (default 16)
+ *   --seed=N        workload seed for seeded workloads
+ *   --smoke         quick pass: scale 0.1, 8 procs (CI; overridable
+ *                   by a later --scale/--procs)
+ *   --only=A,B      run only the named bench targets
+ *   --list          list bench targets and exit
+ *   --check-json=P  validate an existing results file (parseable,
+ *                   cpx-sweep-1 schema, every point verified) and
+ *                   exit; runs nothing
+ *
+ * Determinism: each simulation is single-threaded and seeded, and
+ * results are collected by queue position, so the tables and the
+ * JSON are bit-identical for every --jobs value.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/runner.hh"
+#include "sim/parse.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpx;
+    using namespace cpx::bench;
+
+    Options opts;
+    opts.jsonPath = "BENCH_results.json";
+    if (const char *env = std::getenv("CPX_SCALE"))
+        opts.scale = parsePositiveDouble(env, "CPX_SCALE");
+
+    std::vector<std::string> only;
+    bool list_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--scale=", 8) == 0)
+            opts.scale = parsePositiveDouble(arg + 8, "--scale");
+        else if (std::strncmp(arg, "--procs=", 8) == 0)
+            opts.procs = parsePositiveUnsigned(arg + 8, "--procs");
+        else if (std::strncmp(arg, "--jobs=", 7) == 0)
+            opts.jobs = parsePositiveUnsigned(arg + 7, "--jobs");
+        else if (std::strncmp(arg, "--seed=", 7) == 0)
+            opts.seed = parseU64(arg + 7, "--seed");
+        else if (std::strncmp(arg, "--json=", 7) == 0)
+            opts.jsonPath = arg + 7;
+        else if (std::strcmp(arg, "--smoke") == 0) {
+            opts.scale = 0.1;
+            opts.procs = 8;
+        } else if (std::strncmp(arg, "--only=", 7) == 0) {
+            std::string names = arg + 7;
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                std::size_t comma = names.find(',', pos);
+                std::string name = names.substr(
+                    pos, comma == std::string::npos ? comma
+                                                    : comma - pos);
+                if (!name.empty())
+                    only.push_back(name);
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (std::strcmp(arg, "--list") == 0) {
+            list_only = true;
+        } else if (std::strncmp(arg, "--check-json=", 13) == 0) {
+            std::string error;
+            if (!validateResultsFile(arg + 13, error)) {
+                std::fprintf(stderr, "cpxbench: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            std::printf("%s: OK\n", arg + 13);
+            return 0;
+        } else {
+            fatal("unknown option '%s' (see the header of "
+                  "tools/cpxbench.cc)",
+                  arg);
+        }
+    }
+
+    if (list_only) {
+        for (const BenchDef &def : benchRegistry())
+            std::printf("%-22s %s\n", def.name, def.title);
+        return 0;
+    }
+
+    for (const std::string &name : only) {
+        bool known = false;
+        for (const BenchDef &def : benchRegistry())
+            known = known || name == def.name;
+        if (!known)
+            fatal("--only: unknown bench target '%s' (try --list)",
+                  name.c_str());
+    }
+    auto selected = [&only](const BenchDef &def) {
+        if (only.empty())
+            return true;
+        for (const std::string &name : only)
+            if (name == def.name)
+                return true;
+        return false;
+    };
+
+    // Queue every selected target's grid, run the union over one
+    // pool, then render in canonical order.
+    SweepRunner runner(opts);
+    std::vector<RenderFn> renders;
+    for (const BenchDef &def : benchRegistry()) {
+        if (selected(def))
+            renders.push_back(def.setup(runner, opts));
+    }
+    runner.runAll();
+
+    bool first = true;
+    for (const RenderFn &render : renders) {
+        if (!first)
+            std::printf("\n");
+        first = false;
+        if (render)
+            render();
+    }
+
+    std::printf("\n%zu sweep points in %.2f host seconds "
+                "(--jobs=%u)\n",
+                runner.results().size(), runner.totalHostSeconds(),
+                opts.jobs);
+    if (!opts.jsonPath.empty()) {
+        writeJson(opts.jsonPath, "cpxbench", opts, runner.results(),
+                  runner.totalHostSeconds());
+        std::printf("results written to %s\n", opts.jsonPath.c_str());
+    }
+    return 0;
+}

@@ -53,6 +53,7 @@
 #include "check/watchdog.hh"
 #include "core/config.hh"
 #include "core/report.hh"
+#include "sim/parse.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -110,24 +111,24 @@ main(int argc, char **argv)
         else if (const char *v = value("--network="))
             network = v;
         else if (const char *v = value("--procs="))
-            params.numProcs = static_cast<unsigned>(std::atoi(v));
+            params.numProcs = parsePositiveUnsigned(v, "--procs");
         else if (const char *v = value("--scale="))
-            scale = std::atof(v);
+            scale = parsePositiveDouble(v, "--scale");
         else if (const char *v = value("--seed="))
-            seed = std::strtoull(v, nullptr, 0);
+            seed = parseU64(v, "--seed");
         else if (const char *v = value("--slc="))
-            params.slcBytes = static_cast<unsigned>(std::atoi(v));
+            params.slcBytes = parseUnsigned(v, "--slc");
         else if (const char *v = value("--threshold="))
             params.competitiveThreshold =
-                static_cast<unsigned>(std::atoi(v));
+                parsePositiveUnsigned(v, "--threshold");
         else if (arg == "--no-write-cache")
             params.writeCacheEnabled = false;
         else if (const char *v = value("--flwb="))
-            params.flwbEntries = static_cast<unsigned>(std::atoi(v));
+            params.flwbEntries = parsePositiveUnsigned(v, "--flwb");
         else if (const char *v = value("--slwb="))
-            params.slwbEntries = static_cast<unsigned>(std::atoi(v));
+            params.slwbEntries = parsePositiveUnsigned(v, "--slwb");
         else if (const char *v = value("--limit="))
-            limit = std::strtoull(v, nullptr, 0);
+            limit = parseU64(v, "--limit");
         else if (arg == "--stats")
             dump_stats = true;
         else if (arg == "--check")
@@ -136,10 +137,10 @@ main(int argc, char **argv)
             params.chaos.enabled = true;
         else if (const char *v = value("--chaos-jitter=")) {
             params.chaos.enabled = true;
-            params.chaos.maxJitter = std::strtoull(v, nullptr, 0);
+            params.chaos.maxJitter = parseU64(v, "--chaos-jitter");
         } else if (const char *v = value("--chaos-seed=")) {
             params.chaos.enabled = true;
-            params.chaos.seed = std::strtoull(v, nullptr, 0);
+            params.chaos.seed = parseU64(v, "--chaos-seed");
         } else if (arg == "--chaos-no-fifo") {
             params.chaos.enabled = true;
             params.chaos.preservePairFifo = false;
@@ -147,7 +148,7 @@ main(int argc, char **argv)
             watchdog_enabled = true;
         else if (const char *v = value("--watchdog=")) {
             watchdog_enabled = true;
-            watchdog_interval = std::strtoull(v, nullptr, 0);
+            watchdog_interval = parseU64(v, "--watchdog");
         } else if (const char *v = value("--trace=")) {
             std::string tags = v;
             std::size_t pos = 0;
@@ -172,8 +173,11 @@ main(int argc, char **argv)
     if (network.rfind("mesh", 0) == 0) {
         params.networkKind = NetworkKind::Mesh;
         if (network.size() > 4)
-            params.meshLinkBits =
-                static_cast<unsigned>(std::atoi(network.c_str() + 4));
+            params.meshLinkBits = parsePositiveUnsigned(
+                network.c_str() + 4, "--network=mesh");
+    } else if (network != "uniform") {
+        fatal("unknown network '%s' (use uniform or mesh16|32|64)",
+              network.c_str());
     }
     params.applyConsistencyDefaults();
 
