@@ -235,6 +235,19 @@ writeJson(const std::string &path, const std::string &suite,
     out << "  \"procs\": " << opts.procs << ",\n";
     out << "  \"hostSeconds\": " << jsonNumber(total_host_seconds)
         << ",\n";
+
+    // Suite-level throughput: the perf trajectory CI tracks. Event
+    // counts are simulated (bit-identical across hosts and --jobs);
+    // only the divide by host time varies.
+    std::uint64_t total_events = 0;
+    for (const SweepResult &r : results)
+        total_events += r.run.stats.eventsExecuted;
+    out << "  \"totalEvents\": " << jsonNumber(total_events) << ",\n";
+    out << "  \"eventsPerSec\": "
+        << jsonNumber(total_host_seconds > 0
+                          ? total_events / total_host_seconds
+                          : 0.0)
+        << ",\n";
     out << "  \"points\": [";
 
     bool first = true;
@@ -298,6 +311,18 @@ writeJson(const std::string &path, const std::string &suite,
             << jsonNumber(s.migratoryDetections) << ", "
             << "\"invalidationsSent\": "
             << jsonNumber(s.invalidationsSent) << "},\n";
+        out << "      \"kernel\": {"
+            << "\"eventsExecuted\": " << jsonNumber(s.eventsExecuted)
+            << ", "
+            << "\"peakPendingEvents\": "
+            << jsonNumber(s.peakPendingEvents) << ", "
+            << "\"scheduleAllocs\": " << jsonNumber(s.scheduleAllocs)
+            << ", "
+            << "\"eventsPerSec\": "
+            << jsonNumber(r.hostSeconds > 0
+                              ? s.eventsExecuted / r.hostSeconds
+                              : 0.0)
+            << "},\n";
         out << "      \"hostSeconds\": " << jsonNumber(r.hostSeconds)
             << "\n";
         out << "    }";
@@ -592,6 +617,195 @@ validateResultsFile(const std::string &path, std::string &error)
                                       : std::string()) +
                     "' app=" + point.at("app").text;
             return false;
+        }
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Read a file and parse it as a cpx-sweep-1 document. */
+bool
+loadSweepDoc(const std::string &path, JsonValue &doc,
+             std::string &error)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    if (!parseJson(text.str(), doc, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    if (doc.kind != JsonValue::Kind::Object || !doc.has("schema") ||
+        doc.at("schema").text != "cpx-sweep-1") {
+        error = path + ": missing cpx-sweep-1 schema marker";
+        return false;
+    }
+    return true;
+}
+
+bool
+jsonEquals(const JsonValue &a, const JsonValue &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case JsonValue::Kind::Null:
+        return true;
+      case JsonValue::Kind::Bool:
+        return a.boolean == b.boolean;
+      case JsonValue::Kind::Number:
+        // %.17g round-trips doubles exactly, so simulated stats from
+        // identical runs parse back to identical values.
+        return a.number == b.number;
+      case JsonValue::Kind::String:
+        return a.text == b.text;
+      case JsonValue::Kind::Array:
+        if (a.items.size() != b.items.size())
+            return false;
+        for (std::size_t i = 0; i < a.items.size(); ++i)
+            if (!jsonEquals(a.items[i], b.items[i]))
+                return false;
+        return true;
+      case JsonValue::Kind::Object:
+        if (a.members.size() != b.members.size())
+            return false;
+        for (const auto &[key, value] : a.members) {
+            auto it = b.members.find(key);
+            if (it == b.members.end() ||
+                !jsonEquals(value, it->second))
+                return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+std::string
+pointLabel(const JsonValue &point)
+{
+    std::string label =
+        point.has("tag") ? point.at("tag").text : std::string();
+    if (point.has("app"))
+        label += (label.empty() ? "" : "/") + point.at("app").text;
+    return label.empty() ? "?" : label;
+}
+
+} // anonymous namespace
+
+bool
+compareToBaseline(const std::string &path,
+                  const std::string &baseline_path,
+                  std::string &error, std::string &warning)
+{
+    JsonValue cur, base;
+    if (!loadSweepDoc(path, cur, error) ||
+        !loadSweepDoc(baseline_path, base, error))
+        return false;
+    if (!cur.has("points") || !base.has("points") ||
+        cur.at("points").kind != JsonValue::Kind::Array ||
+        base.at("points").kind != JsonValue::Kind::Array) {
+        error = "missing points array";
+        return false;
+    }
+    const auto &cur_pts = cur.at("points").items;
+    const auto &base_pts = base.at("points").items;
+    if (cur_pts.size() != base_pts.size()) {
+        error = path + ": " + std::to_string(cur_pts.size()) +
+                " points vs " + std::to_string(base_pts.size()) +
+                " in baseline " + baseline_path;
+        return false;
+    }
+
+    // Every simulated stat is gated; hostSeconds and the kernel
+    // throughput block are host-dependent and exempt.
+    static const char *const gated[] = {
+        "tag",      "app",    "config",  "verified",
+        "execTime", "breakdown", "misses", "traffic",
+        "protocolEvents",
+    };
+    for (std::size_t i = 0; i < cur_pts.size(); ++i) {
+        const JsonValue &c = cur_pts[i];
+        const JsonValue &b = base_pts[i];
+        for (const char *field : gated) {
+            const bool in_c = c.has(field);
+            const bool in_b = b.has(field);
+            if (in_c != in_b ||
+                (in_c && !jsonEquals(c.at(field), b.at(field)))) {
+                error = path + ": point " + std::to_string(i) + " (" +
+                        pointLabel(c) + ") drifted from baseline in '" +
+                        field + "'";
+                return false;
+            }
+        }
+    }
+
+    if (cur.has("eventsPerSec") && base.has("eventsPerSec")) {
+        double now = cur.at("eventsPerSec").number;
+        double then = base.at("eventsPerSec").number;
+        if (then > 0 && now < 0.8 * then) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "events/sec regressed >20%% vs baseline: "
+                          "%.3g now vs %.3g then",
+                          now, then);
+            warning = buf;
+        }
+    }
+    return true;
+}
+
+bool
+printPerfSummary(const std::string &path, std::string &error)
+{
+    JsonValue doc;
+    if (!loadSweepDoc(path, doc, error))
+        return false;
+
+    auto num = [&doc](const char *key) {
+        return doc.has(key) ? doc.at(key).number : 0.0;
+    };
+    std::printf("perf summary for %s\n", path.c_str());
+    std::printf("  suite:        %s\n",
+                doc.has("suite") ? doc.at("suite").text.c_str() : "?");
+    std::printf("  timestamp:    %s\n",
+                doc.has("timestamp") ? doc.at("timestamp").text.c_str()
+                                     : "?");
+    std::printf("  points:       %zu\n",
+                doc.has("points") ? doc.at("points").items.size() : 0);
+    std::printf("  hostSeconds:  %.2f\n", num("hostSeconds"));
+    std::printf("  totalEvents:  %.0f\n", num("totalEvents"));
+    std::printf("  eventsPerSec: %.3g\n", num("eventsPerSec"));
+
+    if (!doc.has("points"))
+        return true;
+    // Per-tag aggregation, in first-appearance order.
+    std::vector<std::string> order;
+    std::map<std::string, std::pair<double, double>> by_tag;
+    for (const JsonValue &p : doc.at("points").items) {
+        if (p.kind != JsonValue::Kind::Object || !p.has("tag"))
+            continue;
+        const std::string &tag = p.at("tag").text;
+        if (!by_tag.count(tag))
+            order.push_back(tag);
+        auto &[events, secs] = by_tag[tag];
+        if (p.has("kernel") && p.at("kernel").has("eventsExecuted"))
+            events += p.at("kernel").at("eventsExecuted").number;
+        if (p.has("hostSeconds"))
+            secs += p.at("hostSeconds").number;
+    }
+    if (!order.empty()) {
+        std::printf("  %-18s %14s %12s %14s\n", "tag", "events",
+                    "hostSec", "events/sec");
+        for (const std::string &tag : order) {
+            auto [events, secs] = by_tag[tag];
+            std::printf("  %-18s %14.0f %12.3f %14.4g\n", tag.c_str(),
+                        events, secs, secs > 0 ? events / secs : 0.0);
         }
     }
     return true;

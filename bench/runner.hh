@@ -162,6 +162,28 @@ bool parseJson(const std::string &text, JsonValue &out,
  */
 bool validateResultsFile(const std::string &path, std::string &error);
 
+/**
+ * Compare a results file against a committed baseline. Every
+ * simulated stat of every point — configuration, verification,
+ * execTime, time breakdown, miss rates, traffic, protocol events —
+ * must match the baseline bit-for-bit; host-dependent fields
+ * (hostSeconds, kernel throughput) are exempt. Returns true if
+ * nothing drifted, else fills @p error with the first divergence.
+ * A >20% events/sec regression against the baseline's recorded
+ * throughput fills @p warning but does not fail the comparison.
+ */
+bool compareToBaseline(const std::string &path,
+                       const std::string &baseline_path,
+                       std::string &error, std::string &warning);
+
+/**
+ * Print the throughput fields of an existing results file (suite
+ * totals plus a per-tag table) to stdout; used by CI to surface the
+ * perf trajectory in the job summary. Returns false and fills
+ * @p error if the file is unreadable.
+ */
+bool printPerfSummary(const std::string &path, std::string &error);
+
 // --- bench-module registry -------------------------------------------------
 
 /** Called after runAll() to print the target's paper-style tables. */

@@ -57,6 +57,10 @@ collectStats(System &sys, Tick exec_time)
     }
     r.avgReadMissLatency = lat_count ? lat_sum / lat_count : 0.0;
 
+    r.eventsExecuted = sys.eq().executed();
+    r.peakPendingEvents = sys.eq().peakPending();
+    r.scheduleAllocs = sys.eq().scheduleAllocs();
+
     r.netBytes = sys.net().totalBytes();
     r.netMessages = sys.net().totalMessages();
     for (unsigned k = 0; k < static_cast<unsigned>(
@@ -87,6 +91,10 @@ formatSystemStats(System &sys)
                                                           : "SC");
     emit("system.numProcs %u\n", p.numProcs);
     emit("system.eventsExecuted %llu\n", ull(sys.eq().executed()));
+    emit("system.peakPendingEvents %llu\n",
+         ull(sys.eq().peakPending()));
+    emit("system.scheduleAllocs %llu\n",
+         ull(sys.eq().scheduleAllocs()));
     emit("network.bytes %llu\n", ull(sys.net().totalBytes()));
     emit("network.messages %llu\n", ull(sys.net().totalMessages()));
     const char *class_names[] = {"request", "data", "coherence",

@@ -61,6 +61,12 @@ struct RunResult
     std::uint64_t counterInvalidations = 0; //!< CW competitive expiries
     double avgReadMissLatency = 0;
 
+    // Simulation-kernel telemetry (host-side throughput trajectory;
+    // identical across hosts except where divided by host time).
+    std::uint64_t eventsExecuted = 0;   //!< events the kernel dispatched
+    std::uint64_t peakPendingEvents = 0; //!< high-water mark of the queue
+    std::uint64_t scheduleAllocs = 0;   //!< schedule() calls that hit the heap
+
     /** Cold miss rate in percent of shared accesses (Table 2). */
     double
     coldMissRate() const

@@ -4,6 +4,15 @@
 
 #include "sim/logging.hh"
 
+#ifdef CPX_FIBER_FAST_CONTEXT
+extern "C" {
+/** Save callee-saved state, swap stacks (context_x86_64.S). */
+void cpx_ctx_switch(void **save_sp, void *to_sp);
+/** First activation target of a fresh fiber (context_x86_64.S). */
+void cpx_ctx_boot();
+}
+#endif
+
 namespace cpx
 {
 
@@ -14,6 +23,31 @@ namespace
 thread_local Fiber *currentFiber = nullptr;
 
 } // anonymous namespace
+
+#ifdef CPX_FIBER_FAST_CONTEXT
+
+Fiber::Fiber(Entry entry_fn, std::size_t stack_size)
+    : entry(std::move(entry_fn)), stack(new char[stack_size])
+{
+    // Build the frame cpx_ctx_switch restores on first entry: six
+    // callee-saved register slots (the Fiber pointer in the r12 slot)
+    // and cpx_ctx_boot as the return address. With the stack top
+    // 16-byte aligned, the boot shim runs with the alignment its
+    // call instruction requires.
+    char *top = stack.get() + stack_size;
+    top -= reinterpret_cast<std::uintptr_t>(top) & 15;
+    void **frame = reinterpret_cast<void **>(top) - 7;
+    frame[0] = nullptr;                                 // r15
+    frame[1] = nullptr;                                 // r14
+    frame[2] = nullptr;                                 // r13
+    frame[3] = this;                                    // r12
+    frame[4] = nullptr;                                 // rbx
+    frame[5] = nullptr;                                 // rbp
+    frame[6] = reinterpret_cast<void *>(&cpx_ctx_boot); // return address
+    sp = frame;
+}
+
+#else // ucontext fallback
 
 Fiber::Fiber(Entry entry_fn, std::size_t stack_size)
     : entry(std::move(entry_fn)), stack(new char[stack_size])
@@ -32,11 +66,15 @@ Fiber::Fiber(Entry entry_fn, std::size_t stack_size)
                 static_cast<unsigned>(self & 0xffffffffu));
 }
 
+#endif
+
 Fiber::~Fiber()
 {
     if (started && !finished_)
         warn("destroying a fiber that has not finished");
 }
+
+#ifndef CPX_FIBER_FAST_CONTEXT
 
 void
 Fiber::trampoline(unsigned hi, unsigned lo)
@@ -51,6 +89,8 @@ Fiber::trampoline(unsigned hi, unsigned lo)
     panic("resumed a finished fiber");
 }
 
+#endif
+
 void
 Fiber::resume()
 {
@@ -59,8 +99,12 @@ Fiber::resume()
     started = true;
     Fiber *previous = currentFiber;
     currentFiber = this;
+#ifdef CPX_FIBER_FAST_CONTEXT
+    cpx_ctx_switch(&callerSp, sp);
+#else
     if (swapcontext(&callerContext, &context) != 0)
         panic("swapcontext into fiber failed");
+#endif
     currentFiber = previous;
 }
 
@@ -71,8 +115,12 @@ Fiber::yield()
     if (!self)
         panic("Fiber::yield() called outside any fiber");
     currentFiber = nullptr;
+#ifdef CPX_FIBER_FAST_CONTEXT
+    cpx_ctx_switch(&self->sp, self->callerSp);
+#else
     if (swapcontext(&self->context, &self->callerContext) != 0)
         panic("swapcontext out of fiber failed");
+#endif
     currentFiber = self;
 }
 
@@ -83,3 +131,20 @@ Fiber::current()
 }
 
 } // namespace cpx
+
+#ifdef CPX_FIBER_FAST_CONTEXT
+
+/** C++ body of a fresh fiber's first activation; never returns. */
+extern "C" void
+cpx_fiber_entry(void *arg)
+{
+    auto *self = static_cast<cpx::Fiber *>(arg);
+    self->entry();
+    self->finished_ = true;
+    // Return to the resumer for the last time.
+    cpx::currentFiber = nullptr;
+    cpx_ctx_switch(&self->sp, self->callerSp);
+    cpx::panic("resumed a finished fiber");
+}
+
+#endif

@@ -8,18 +8,30 @@
  * give us that with deterministic, single-OS-thread scheduling —
  * the same structure as the CacheMire Test Bench the paper used.
  *
- * Implemented with POSIX ucontext. Only the simulation kernel thread
- * may touch fibers; they are not thread-safe by design.
+ * On x86-64 ELF targets the switch is a dozen user-space instructions
+ * (context_x86_64.S): swapcontext() performs a sigprocmask system
+ * call on every switch, which profiling showed dominating the whole
+ * simulator. Other targets fall back to POSIX ucontext. Only the
+ * simulation kernel thread may touch fibers; they are not thread-safe
+ * by design.
  */
 
 #ifndef CPX_FIBER_FIBER_HH
 #define CPX_FIBER_FIBER_HH
 
+#if defined(__x86_64__) && defined(__ELF__)
+#define CPX_FIBER_FAST_CONTEXT 1
+#else
 #include <ucontext.h>
+#endif
 
 #include <cstddef>
 #include <functional>
 #include <memory>
+
+#ifdef CPX_FIBER_FAST_CONTEXT
+extern "C" void cpx_fiber_entry(void *);
+#endif
 
 namespace cpx
 {
@@ -68,12 +80,17 @@ class Fiber
     bool finished() const { return finished_; }
 
   private:
-    static void trampoline(unsigned hi, unsigned lo);
-
     Entry entry;
     std::unique_ptr<char[]> stack;
+#ifdef CPX_FIBER_FAST_CONTEXT
+    friend void ::cpx_fiber_entry(void *);
+    void *sp = nullptr;         //!< fiber's stack pointer while suspended
+    void *callerSp = nullptr;   //!< resumer's stack pointer while inside
+#else
+    static void trampoline(unsigned hi, unsigned lo);
     ucontext_t context;
     ucontext_t callerContext;
+#endif
     bool started = false;
     bool finished_ = false;
 };

@@ -8,6 +8,17 @@
  * supports both through one interface: construct with numSets == 0
  * for the infinite variant.
  *
+ * Both variants probe contiguous arrays. The finite store is the
+ * direct-mapped array the hardware would have; the infinite store is
+ * an open-addressing hash table (linear probing over a flat key array
+ * parallel to a flat line array), chosen over a node-based map
+ * because the tag lookup sits on the simulator's hot path — every
+ * simulated SLC access probes it, and chasing per-node heap cells
+ * dominated the lookup cost. Deletion uses tombstones, so a Line
+ * pointer is invalidated only by insert() (table growth), never by
+ * erase() of another block; callers hold lookup results only until
+ * the next insert().
+ *
  * The Line type is supplied by the client (the SLC controller keeps
  * protocol state in it); it must provide a default constructor and a
  * `bool valid` member.
@@ -17,7 +28,7 @@
 #define CPX_MEM_TAG_STORE_HH
 
 #include <cstddef>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/block.hh"
@@ -38,8 +49,13 @@ class TagStore
     TagStore(unsigned block_bytes, std::size_t num_sets)
         : blockBytes(block_bytes), numSets(num_sets)
     {
-        if (numSets)
+        if (numSets) {
             sets.resize(numSets);
+        } else {
+            tabKeys.assign(initialCapacity, emptyKey);
+            tabLines.resize(initialCapacity);
+            tabShift = 64 - initialCapacityLog2;
+        }
     }
 
     bool infinite() const { return numSets == 0; }
@@ -53,8 +69,8 @@ class TagStore
     {
         Addr blk = align(a);
         if (infinite()) {
-            auto it = map.find(blk);
-            return it == map.end() ? nullptr : &it->second;
+            std::size_t i = findSlot(blk);
+            return i == npos ? nullptr : &tabLines[i];
         }
         Entry &e = sets[setIndex(blk)];
         return (e.line.valid && e.tag == blk) ? &e.line : nullptr;
@@ -92,12 +108,8 @@ class TagStore
     insert(Addr a)
     {
         Addr blk = align(a);
-        if (infinite()) {
-            Line &l = map[blk];
-            l = Line{};
-            l.valid = true;
-            return &l;
-        }
+        if (infinite())
+            return tableInsert(blk);
         Entry &e = sets[setIndex(blk)];
         e.tag = blk;
         e.line = Line{};
@@ -111,7 +123,12 @@ class TagStore
     {
         Addr blk = align(a);
         if (infinite()) {
-            map.erase(blk);
+            std::size_t i = findSlot(blk);
+            if (i != npos) {
+                tabKeys[i] = deadKey;
+                tabLines[i] = Line{};   // release the line's payload now
+                --liveCount;
+            }
             return;
         }
         Entry &e = sets[setIndex(blk)];
@@ -124,7 +141,7 @@ class TagStore
     size() const
     {
         if (infinite())
-            return map.size();
+            return liveCount;
         std::size_t n = 0;
         for (const Entry &e : sets)
             if (e.line.valid)
@@ -138,8 +155,9 @@ class TagStore
     forEach(F &&f)
     {
         if (infinite()) {
-            for (auto &[blk, line] : map)
-                f(blk, line);
+            for (std::size_t i = 0; i < tabKeys.size(); ++i)
+                if (tabKeys[i] & occupiedBit)
+                    f(tabKeys[i] ^ occupiedBit, tabLines[i]);
             return;
         }
         for (Entry &e : sets)
@@ -160,10 +178,117 @@ class TagStore
         return static_cast<std::size_t>((blk / blockBytes) % numSets);
     }
 
+    // ----- infinite mode: open-addressing table ------------------------
+    //
+    // Keys are block addresses (aligned to blockBytes >= 4, so the low
+    // two bits are free) tagged with the occupied bit; 0 marks a
+    // never-used slot, 2 a tombstone. Fibonacci hashing takes the top
+    // bits of the multiplicative mix, which a power-of-two capacity
+    // turns into the probe start.
+
+    static constexpr Addr emptyKey = 0;
+    static constexpr Addr deadKey = 2;
+    static constexpr Addr occupiedBit = 1;
+    static constexpr std::size_t npos = ~std::size_t{0};
+    static constexpr std::size_t initialCapacityLog2 = 8;
+    static constexpr std::size_t initialCapacity =
+        std::size_t{1} << initialCapacityLog2;
+
+    std::size_t
+    probeStart(Addr blk) const
+    {
+        return static_cast<std::size_t>(
+            (blk * Addr(0x9E3779B97F4A7C15ull)) >> tabShift);
+    }
+
+    std::size_t
+    tabMask() const
+    {
+        return tabKeys.size() - 1;
+    }
+
+    /** Slot holding @p blk, or npos. */
+    std::size_t
+    findSlot(Addr blk) const
+    {
+        const std::size_t mask = tabMask();
+        std::size_t i = probeStart(blk);
+        for (;;) {
+            Addr k = tabKeys[i];
+            if (k == (blk | occupiedBit))
+                return i;
+            if (k == emptyKey)
+                return npos;
+            i = (i + 1) & mask;
+        }
+    }
+
+    Line *
+    tableInsert(Addr blk)
+    {
+        // Grow on used (live + tombstone) load so probe chains stay
+        // short even after heavy erase traffic.
+        if ((usedCount + 1) * 4 > tabKeys.size() * 3)
+            grow();
+        const std::size_t mask = tabMask();
+        std::size_t i = probeStart(blk);
+        std::size_t slot = npos;        // first tombstone on the chain
+        for (;;) {
+            Addr k = tabKeys[i];
+            if (k == (blk | occupiedBit)) {
+                tabLines[i] = Line{};
+                tabLines[i].valid = true;
+                return &tabLines[i];
+            }
+            if (k == deadKey && slot == npos)
+                slot = i;
+            if (k == emptyKey) {
+                if (slot == npos) {
+                    slot = i;
+                    ++usedCount;        // consumed a fresh slot
+                }
+                tabKeys[slot] = blk | occupiedBit;
+                tabLines[slot] = Line{};
+                tabLines[slot].valid = true;
+                ++liveCount;
+                return &tabLines[slot];
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    void
+    grow()
+    {
+        std::vector<Addr> oldKeys = std::move(tabKeys);
+        std::vector<Line> oldLines = std::move(tabLines);
+        const std::size_t newCap = oldKeys.size() * 2;
+        tabKeys.assign(newCap, emptyKey);
+        tabLines.clear();
+        tabLines.resize(newCap);
+        --tabShift;
+        usedCount = liveCount;          // tombstones die in the rehash
+        const std::size_t mask = tabMask();
+        for (std::size_t i = 0; i < oldKeys.size(); ++i) {
+            Addr k = oldKeys[i];
+            if (!(k & occupiedBit))
+                continue;
+            std::size_t j = probeStart(k ^ occupiedBit);
+            while (tabKeys[j] != emptyKey)
+                j = (j + 1) & mask;
+            tabKeys[j] = k;
+            tabLines[j] = std::move(oldLines[i]);
+        }
+    }
+
     unsigned blockBytes;
     std::size_t numSets;
-    std::vector<Entry> sets;               //!< finite mode
-    std::unordered_map<Addr, Line> map;    //!< infinite mode
+    std::vector<Entry> sets;            //!< finite mode
+    std::vector<Addr> tabKeys;          //!< infinite mode: tagged keys
+    std::vector<Line> tabLines;         //!< infinite mode: slot payloads
+    std::size_t liveCount = 0;          //!< occupied slots
+    std::size_t usedCount = 0;          //!< occupied + tombstone slots
+    unsigned tabShift = 0;              //!< 64 - log2(capacity)
 };
 
 } // namespace cpx

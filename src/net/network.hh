@@ -14,8 +14,6 @@
 #ifndef CPX_NET_NETWORK_HH
 #define CPX_NET_NETWORK_HH
 
-#include <functional>
-
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -40,7 +38,7 @@ enum class MsgClass
 class Network
 {
   public:
-    using DeliverFn = std::function<void()>;
+    using DeliverFn = EventQueue::Callback;
 
     explicit Network(EventQueue &event_queue) : eq(event_queue) {}
     virtual ~Network() = default;

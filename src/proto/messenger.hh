@@ -12,6 +12,7 @@
 #ifndef CPX_PROTO_MESSENGER_HH
 #define CPX_PROTO_MESSENGER_HH
 
+#include <memory>
 #include <utility>
 
 #include "net/network.hh"
@@ -19,6 +20,29 @@
 
 namespace cpx
 {
+
+namespace detail
+{
+
+/**
+ * Per-message transmission state, threaded through the three delivery
+ * stages (sender bus -> network -> receiver bus). One heap cell per
+ * message: the stage lambdas capture only the owning pointer, which
+ * keeps each of them small enough for the event queue's inline
+ * callback storage — nesting the stages directly would capture the
+ * previous stage's full-size callback and overflow it.
+ */
+struct MsgChain
+{
+    Fabric &fabric;
+    NodeId src;
+    NodeId dst;
+    unsigned payload;
+    Tick busXfer;
+    EventQueue::Callback atDst;
+};
+
+} // namespace detail
 
 /**
  * Send a protocol message.
@@ -38,18 +62,21 @@ sendProtocolMessage(Fabric &fabric, NodeId src, NodeId dst,
     EventQueue &eq = fabric.eq();
     const Tick bus_xfer = fabric.params().busTransferLatency;
 
+    auto chain = std::make_unique<detail::MsgChain>(
+        detail::MsgChain{fabric, src, dst, payload, bus_xfer,
+                         std::move(at_dst)});
+
     Tick start = fabric.bus(src).reserve(eq.now(), bus_xfer);
-    eq.schedule(start + bus_xfer,
-                [&fabric, src, dst, payload, bus_xfer, klass,
-                 cb = std::move(at_dst)]() mutable {
-        fabric.net().send(src, dst, payload,
-                          [&fabric, src, dst, bus_xfer,
-                           cb = std::move(cb)]() mutable {
-            if (ProtocolObserver *obs = fabric.observer())
-                obs->onMessageDelivered(src, dst);
-            Tick s = fabric.bus(dst).reserve(fabric.eq().now(),
-                                             bus_xfer);
-            fabric.eq().schedule(s + bus_xfer, std::move(cb));
+    eq.schedule(start + bus_xfer, [c = std::move(chain), klass]() mutable {
+        detail::MsgChain &m = *c;
+        m.fabric.net().send(m.src, m.dst, m.payload,
+                            [c = std::move(c)]() mutable {
+            detail::MsgChain &m = *c;
+            if (ProtocolObserver *obs = m.fabric.observer())
+                obs->onMessageDelivered(m.src, m.dst);
+            Tick s = m.fabric.bus(m.dst).reserve(m.fabric.eq().now(),
+                                                 m.busXfer);
+            m.fabric.eq().schedule(s + m.busXfer, std::move(m.atDst));
         }, klass);
     });
 }

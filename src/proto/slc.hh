@@ -33,6 +33,7 @@
 #define CPX_PROTO_SLC_HH
 
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <utility>
 #include <vector>

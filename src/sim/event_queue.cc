@@ -1,12 +1,31 @@
 #include "sim/event_queue.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace cpx
 {
 
+/**
+ * A pending event. Nodes live in pool chunks owned by the queue and
+ * cycle through an intrusive free list; @c gen distinguishes a node's
+ * successive incarnations so stale EventIds can't cancel a reused
+ * node (a given node would have to be recycled 2^32 times between
+ * schedule() and cancel() for a false match).
+ */
+struct EventQueue::Event
+{
+    Event *next = nullptr;      //!< FIFO / free-list link
+    Tick when = 0;
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+    Callback cb;
+};
+
 EventQueue::EventQueue()
 {
+    ring.resize(ringSize);
     // Thread-local: each host thread's traces are stamped by the
     // queue of the System running on that thread.
     Logger::setTickSource(&now_);
@@ -20,41 +39,244 @@ EventQueue::~EventQueue()
     Logger::clearTickSource(&now_);
 }
 
+EventQueue::Event *
+EventQueue::allocEvent()
+{
+    if (!freeList) {
+        // Pool refill: the only node allocation the queue ever does.
+        ++schedAllocs_;
+        constexpr std::size_t chunkEvents = 256;
+        chunks.push_back(std::make_unique<Event[]>(chunkEvents));
+        Event *arr = chunks.back().get();
+        for (std::size_t i = 0; i < chunkEvents; ++i) {
+            arr[i].next = freeList;
+            freeList = &arr[i];
+        }
+    }
+    Event *e = freeList;
+    freeList = e->next;
+    e->next = nullptr;
+    return e;
+}
+
 void
+EventQueue::releaseEvent(Event *e)
+{
+    e->cb = nullptr;
+    ++e->gen;   // invalidate any EventId still naming this node
+    e->next = freeList;
+    freeList = e;
+}
+
+void
+EventQueue::pushRing(Event *e)
+{
+    const std::size_t idx = e->when & ringMask;
+    List &bucket = ring[idx];
+    if (bucket.tail)
+        bucket.tail->next = e;
+    else
+        bucket.head = e;
+    bucket.tail = e;
+    ++bucket.n;
+    ringBits[idx / 64] |= std::uint64_t{1} << (idx % 64);
+    ++ringNodes;
+}
+
+std::size_t
+EventQueue::findRingFront() const
+{
+    if (ringNodes == 0)
+        return ringSize;
+    // Circular scan from the window start: bucket distance from
+    // horizon_'s slot equals tick distance from horizon_, so the
+    // first set bit in circular order is the earliest tick.
+    const std::size_t start = horizon_ & ringMask;
+    const std::size_t startWord = start / 64;
+    const std::size_t startBit = start % 64;
+    std::uint64_t w = ringBits[startWord] & (~std::uint64_t{0} << startBit);
+    if (w)
+        return startWord * 64 + std::countr_zero(w);
+    for (std::size_t i = 1; i <= ringWords; ++i) {
+        const std::size_t wi = (startWord + i) & (ringWords - 1);
+        w = ringBits[wi];
+        if (wi == startWord)
+            w &= ~(~std::uint64_t{0} << startBit);
+        if (w)
+            return wi * 64 + std::countr_zero(w);
+    }
+    return ringSize;
+}
+
+void
+EventQueue::migrateOverflow()
+{
+    // Move every overflow tick the window now covers into the ring.
+    // Whole per-tick lists are spliced, and a covered tick's bucket
+    // is necessarily empty beforehand, so same-tick insertion order
+    // survives the migration.
+    const bool satur = horizon_ > maxTick - ringSize;
+    const Tick target = satur ? maxTick : horizon_ + ringSize;
+    auto it = overflow.lower_bound(horizon_);
+    while (it != overflow.end() && (satur || it->first < target)) {
+        const std::size_t idx = it->first & ringMask;
+        List &bucket = ring[idx];
+        List &l = it->second;
+        if (bucket.tail)
+            bucket.tail->next = l.head;
+        else
+            bucket.head = l.head;
+        bucket.tail = l.tail;
+        bucket.n += l.n;
+        ringBits[idx / 64] |= std::uint64_t{1} << (idx % 64);
+        ringNodes += l.n;
+        it = overflow.erase(it);
+    }
+}
+
+EventQueue::Event *
+EventQueue::popEarliestLive(Tick limit)
+{
+    for (;;) {
+        const std::size_t idx = findRingFront();
+        if (idx == ringSize) {
+            if (overflow.empty())
+                return nullptr;
+            // Ring drained: jump the window to the overflow front.
+            // migrateOverflow() starts at lower_bound(horizon_), so
+            // at least the front list lands in the ring.
+            horizon_ = overflow.begin()->first;
+            migrateOverflow();
+            continue;
+        }
+        List &bucket = ring[idx];
+        Event *e = bucket.head;
+        // An overflow tick below the ring front can only be a "gap"
+        // event — one scheduled below the window after run() was
+        // truncated mid-window — and is served straight from the
+        // tree. Ring and overflow never share a tick, so this
+        // comparison has no tie to break.
+        const bool fromRing =
+            overflow.empty() || overflow.begin()->first > e->when;
+        if (!fromRing)
+            e = overflow.begin()->second.head;
+        if (!e->cancelled && e->when > limit)
+            return nullptr;
+        if (fromRing) {
+            bucket.head = e->next;
+            if (!bucket.head)
+                bucket.tail = nullptr;
+            if (--bucket.n == 0)
+                ringBits[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+            --ringNodes;
+        } else {
+            auto it = overflow.begin();
+            List &l = it->second;
+            l.head = e->next;
+            if (!l.head)
+                l.tail = nullptr;
+            if (--l.n == 0)
+                overflow.erase(it);
+        }
+        e->next = nullptr;
+        if (e->cancelled) {
+            // Lazy deletion: reclaim the node now that the sweep
+            // reached it.
+            releaseEvent(e);
+            continue;
+        }
+        --pending_;
+        return e;
+    }
+}
+
+void
+EventQueue::execute(Event *e)
+{
+    now_ = e->when;
+    if (horizon_ < now_) {
+        // Keep the window's start pinned to now so short-delay
+        // schedules (the common case) always land in the ring.
+        horizon_ = now_;
+        if (!overflow.empty())
+            migrateOverflow();
+    }
+    ++numExecuted;
+    // Move the callback out and release the node *before* invoking,
+    // so the callback may freely schedule (and immediately reuse the
+    // node).
+    Callback cb = std::move(e->cb);
+    releaseEvent(e);
+    cb();
+}
+
+EventQueue::EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
     if (when < now_)
         panic("event scheduled in the past (when=%llu now=%llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
-    heap.push(Entry{when, nextSeq++, std::move(cb)});
+    Event *e = allocEvent();
+    if (cb.onHeap())
+        ++schedAllocs_;
+    e->when = when;
+    e->cancelled = false;
+    e->cb = std::move(cb);
+    // Near the Tick range's end the window is clipped to maxTick and
+    // when - horizon_ still stays below ringSize, so saturation needs
+    // no special case here.
+    if (when >= horizon_ && when - horizon_ < ringSize) {
+        pushRing(e);
+    } else {
+        List &l = overflow[when];
+        if (l.tail)
+            l.tail->next = e;
+        else
+            l.head = e;
+        l.tail = e;
+        ++l.n;
+    }
+    ++pending_;
+    if (pending_ > peakPending_)
+        peakPending_ = pending_;
+    return EventId{e, e->gen};
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (!id.node)
+        return false;
+    Event *e = static_cast<Event *>(id.node);
+    if (e->gen != id.gen || e->cancelled)
+        return false;
+    e->cancelled = true;
+    e->cb = nullptr;    // drop captured resources eagerly
+    --pending_;
+    return true;
 }
 
 bool
 EventQueue::step()
 {
-    if (heap.empty())
+    Event *e = popEarliestLive(maxTick);
+    if (!e)
         return false;
-    // priority_queue::top() is const; move out via const_cast, which
-    // is safe because pop() follows immediately.
-    Entry entry = std::move(const_cast<Entry &>(heap.top()));
-    heap.pop();
-    now_ = entry.when;
-    ++numExecuted;
-    entry.cb();
+    execute(e);
     return true;
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!heap.empty() && heap.top().when <= limit) {
-        if (!step())
+    for (;;) {
+        Event *e = popEarliestLive(limit);
+        if (!e)
             break;
+        execute(e);
     }
-    if (now_ < limit && heap.empty())
-        return now_;
-    if (!heap.empty())
+    if (pending_ != 0 && now_ < limit)
         now_ = limit;
     return now_;
 }

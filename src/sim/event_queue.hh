@@ -5,16 +5,27 @@
  * A single EventQueue drives a whole simulated machine. Events are
  * arbitrary callbacks scheduled at absolute ticks; ties are broken by
  * insertion order so that simulations are fully deterministic.
+ *
+ * The queue is a two-level calendar: a near-future ring of one-tick
+ * FIFO buckets (with a bitmap index so the next event is found by a
+ * find-first-set scan, not a heap percolation) and a far-future
+ * overflow tree for events beyond the ring's window. Event nodes come
+ * from an intrusive free list and callbacks are stored inline
+ * (sim/inline_function.hh), so steady-state scheduling performs zero
+ * heap allocations; the rare exceptions are counted and reported
+ * (scheduleAllocs). See DESIGN.md §8 for the structure and the
+ * determinism argument.
  */
 
 #ifndef CPX_SIM_EVENT_QUEUE_HH
 #define CPX_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace cpx
@@ -31,7 +42,21 @@ namespace cpx
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFunction<80>;
+
+    /**
+     * Handle to a pending event, returned by schedule(). Stays valid
+     * (for cancel()) until the event executes or is cancelled; a
+     * stale handle is recognized and rejected via a generation tag,
+     * so cancelling an already-fired event is a safe no-op.
+     */
+    struct EventId
+    {
+        void *node = nullptr;
+        std::uint32_t gen = 0;
+
+        explicit operator bool() const { return node != nullptr; }
+    };
 
     EventQueue();
     ~EventQueue();
@@ -42,25 +67,44 @@ class EventQueue
     /**
      * Schedule @p cb to run at absolute time @p when.
      * @pre when >= now()
+     * @return a handle usable with cancel()
      */
-    void schedule(Tick when, Callback cb);
+    EventId schedule(Tick when, Callback cb);
 
     /** Schedule @p cb to run @p delay ticks from now. */
-    void scheduleIn(Tick delay, Callback cb) {
-        schedule(now_ + delay, std::move(cb));
+    EventId scheduleIn(Tick delay, Callback cb) {
+        return schedule(now_ + delay, std::move(cb));
     }
+
+    /**
+     * Cancel a pending event. The callback is dropped without
+     * running; its node is reclaimed when the queue sweeps past it.
+     * @return true iff @p id named a still-pending event
+     */
+    bool cancel(EventId id);
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
-    /** @return true iff no events remain. */
-    bool empty() const { return heap.empty(); }
+    /** @return true iff no (uncancelled) events remain. */
+    bool empty() const { return pending_ == 0; }
 
-    /** Number of pending events. */
-    std::size_t pending() const { return heap.size(); }
+    /** Number of pending (uncancelled) events. */
+    std::size_t pending() const { return pending_; }
 
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return numExecuted; }
+
+    /** High-water mark of pending(). */
+    std::size_t peakPending() const { return peakPending_; }
+
+    /**
+     * Number of schedule() calls that performed a heap allocation:
+     * an event-pool refill, or a callback too large for the inline
+     * buffer. Steady-state simulation should hold this near zero
+     * relative to executed().
+     */
+    std::uint64_t scheduleAllocs() const { return schedAllocs_; }
 
     /**
      * Run events until the queue drains or @p limit ticks have been
@@ -76,28 +120,42 @@ class EventQueue
     bool step();
 
   private:
-    struct Entry
+    struct Event;
+
+    /** FIFO of events; one per ring bucket / overflow tick. */
+    struct List
     {
-        Tick when;
-        std::uint64_t seq;  //!< insertion order, breaks ties
-        Callback cb;
+        Event *head = nullptr;
+        Event *tail = nullptr;
+        std::size_t n = 0;
     };
 
-    struct Later
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    /** Ring width in ticks (= bucket count); power of two. */
+    static constexpr std::size_t ringSize = 2048;
+    static constexpr std::size_t ringMask = ringSize - 1;
+    static constexpr std::size_t ringWords = ringSize / 64;
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Event *allocEvent();
+    void releaseEvent(Event *e);
+    void pushRing(Event *e);
+    std::size_t findRingFront() const;  //!< bucket index; npos if none
+    void migrateOverflow();
+    Event *popEarliestLive(Tick limit);
+    void execute(Event *e);
+
+    std::vector<List> ring;           //!< ringSize one-tick buckets
+    std::uint64_t ringBits[ringWords] = {};
+    std::map<Tick, List> overflow;    //!< events beyond the window
     Tick now_ = 0;
-    std::uint64_t nextSeq = 0;
+    Tick horizon_ = 0;                //!< first tick the ring covers
+    std::size_t ringNodes = 0;        //!< nodes (live or cancelled) in ring
+    std::size_t pending_ = 0;         //!< live pending events
+    std::size_t peakPending_ = 0;
     std::uint64_t numExecuted = 0;
+    std::uint64_t schedAllocs_ = 0;
+
+    Event *freeList = nullptr;
+    std::vector<std::unique_ptr<Event[]>> chunks;
 };
 
 } // namespace cpx

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Small-callback storage for the event kernel.
+ *
+ * std::function heap-allocates any callable whose captures exceed its
+ * tiny internal buffer (16 bytes on the common ABIs), and nearly every
+ * event the protocol schedules captures more than that — so with
+ * std::function the simulator pays one malloc/free per scheduled
+ * event. InlineFunction is a move-only std::function replacement with
+ * a buffer sized for the capture lists that actually occur in
+ * src/proto, src/net and src/node (a this-pointer plus a handful of
+ * scalars, or a forwarded continuation behind a unique_ptr). Callables
+ * that fit are stored inline; oversized or over-aligned ones fall back
+ * to a single heap cell, and the fallback is observable through
+ * onHeap() so the event queue can count it (see
+ * EventQueue::scheduleAllocs).
+ *
+ * Unlike std::function, InlineFunction accepts move-only callables
+ * (e.g. lambdas owning a unique_ptr or another InlineFunction), which
+ * the messenger's staged delivery chain relies on.
+ */
+
+#ifndef CPX_SIM_INLINE_FUNCTION_HH
+#define CPX_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cpx
+{
+
+template <std::size_t Capacity = 80>
+class InlineFunction
+{
+  public:
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  std::is_invocable_r_v<void, D &>>>
+    InlineFunction(F &&f)
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(buf)) D(std::forward<F>(f));
+            ops = &inlineOps<D>;
+        } else {
+            *reinterpret_cast<void **>(buf) =
+                new D(std::forward<F>(f));
+            ops = &heapOps<D>;
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    void operator()() { ops->invoke(buf); }
+
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    /** True iff the held callable did not fit the inline buffer. */
+    bool onHeap() const noexcept { return ops && ops->heap; }
+
+    static constexpr std::size_t capacity() { return Capacity; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*relocate)(void *from, void *to) noexcept;
+        void (*destroy)(void *) noexcept;
+        bool heap;
+    };
+
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= Capacity &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops) {
+            ops->destroy(buf);
+            ops = nullptr;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        ops = other.ops;
+        if (ops) {
+            ops->relocate(other.buf, buf);
+            other.ops = nullptr;
+        }
+    }
+
+    template <typename D>
+    static constexpr Ops inlineOps{
+        [](void *p) { (*static_cast<D *>(p))(); },
+        [](void *from, void *to) noexcept {
+            D *src = static_cast<D *>(from);
+            ::new (to) D(std::move(*src));
+            src->~D();
+        },
+        [](void *p) noexcept { static_cast<D *>(p)->~D(); },
+        false,
+    };
+
+    template <typename D>
+    static constexpr Ops heapOps{
+        [](void *p) { (**static_cast<D **>(p))(); },
+        [](void *from, void *to) noexcept {
+            *static_cast<void **>(to) = *static_cast<void **>(from);
+        },
+        [](void *p) noexcept { delete *static_cast<D **>(p); },
+        true,
+    };
+
+    const Ops *ops = nullptr;
+    alignas(std::max_align_t) unsigned char buf[Capacity];
+};
+
+} // namespace cpx
+
+#endif // CPX_SIM_INLINE_FUNCTION_HH

@@ -2,13 +2,30 @@
 # Continuous-integration driver: plain build + tests, sanitized build
 # + tests, a short seeded stress pass under the coherence checker
 # with chaos-network fault injection, and a parallel harness smoke
-# sweep whose JSON results are validated.
+# sweep whose JSON results are validated — and, when a committed
+# BENCH_baseline.json exists, gated against the baseline (any
+# simulated-stat drift fails; an events/sec regression only warns).
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
+#
+# Environment:
+#   CPX_CI_JOBS   host parallelism for ctest and the bench sweep
+#                 (default 2)
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 prefix=${1:-build-ci}
+jobs=${CPX_CI_JOBS:-2}
+
+# Per-stage wall time, printed by stage_done. `date +%s` is portable
+# to every shell CI runs us under, unlike EPOCHREALTIME.
+ci_start=$(date +%s)
+stage_start=$ci_start
+stage_done() {
+    now=$(date +%s)
+    echo "== $1 OK ($((now - stage_start))s, total $((now - ci_start))s)"
+    stage_start=$now
+}
 
 run_suite() {
     dir=$1
@@ -17,9 +34,9 @@ run_suite() {
     cmake -S "$root" -B "$root/$dir" "$@" >/dev/null
     echo "== build $dir"
     cmake --build "$root/$dir" -j >/dev/null
-    echo "== test $dir"
-    ctest --test-dir "$root/$dir" --output-on-failure -j 2 >/dev/null
-    echo "== $dir OK"
+    echo "== test $dir (ctest -j $jobs)"
+    ctest --test-dir "$root/$dir" --output-on-failure -j "$jobs" >/dev/null
+    stage_done "$dir"
 }
 
 run_suite "$prefix"           -DCPX_SANITIZE=OFF
@@ -37,18 +54,27 @@ for seed in 3 17; do
         echo "   stress $proto seed=$seed OK"
     done
 done
+stage_done "stress spot-checks"
 
-# Harness smoke sweep: the whole table/figure suite at reduced scale
-# over two host threads. --check-json fails the build if the results
-# file is missing, unparseable, or reports any unverified point.
-echo "== harness smoke sweep (cpxbench)"
+# Harness smoke sweep: the whole table/figure suite at reduced scale.
+# --check-json fails the build if the results file is missing,
+# unparseable, or reports any unverified point; with the committed
+# baseline it also fails on any simulated-stat drift.
+echo "== harness smoke sweep (cpxbench --jobs=$jobs)"
 bench_json="$root/$prefix/BENCH_smoke.json"
 rm -f "$bench_json"
-"$root/$prefix/tools/cpxbench" --smoke --jobs=2 \
+"$root/$prefix/tools/cpxbench" --smoke --jobs="$jobs" \
     --json="$bench_json" >/dev/null
 test -s "$bench_json" || {
     echo "cpxbench smoke run produced no JSON" >&2
     exit 1
 }
-"$root/$prefix/tools/cpxbench" --check-json="$bench_json"
-echo "== CI green"
+if [ -f "$root/BENCH_baseline.json" ]; then
+    "$root/$prefix/tools/cpxbench" --check-json="$bench_json" \
+        --baseline="$root/BENCH_baseline.json"
+else
+    "$root/$prefix/tools/cpxbench" --check-json="$bench_json"
+fi
+"$root/$prefix/tools/cpxbench" --perf-summary="$bench_json"
+stage_done "harness smoke sweep"
+echo "== CI green (total $(($(date +%s) - ci_start))s)"

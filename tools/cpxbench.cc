@@ -23,6 +23,13 @@
  *   --check-json=P  validate an existing results file (parseable,
  *                   cpx-sweep-1 schema, every point verified) and
  *                   exit; runs nothing
+ *   --baseline=P    with --check-json: additionally fail if any
+ *                   simulated stat drifted from the committed
+ *                   baseline file P; warn (not fail) if events/sec
+ *                   regressed more than 20%
+ *   --perf-summary=P  print the throughput fields (suite totals and
+ *                   per-tag events/sec) of an existing results file
+ *                   and exit; runs nothing
  *
  * Determinism: each simulation is single-threaded and seeded, and
  * results are collected by queue position, so the tables and the
@@ -50,6 +57,9 @@ main(int argc, char **argv)
 
     std::vector<std::string> only;
     bool list_only = false;
+    std::string check_json;
+    std::string baseline;
+    std::string perf_summary;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -81,20 +91,52 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--list") == 0) {
             list_only = true;
         } else if (std::strncmp(arg, "--check-json=", 13) == 0) {
-            std::string error;
-            if (!validateResultsFile(arg + 13, error)) {
-                std::fprintf(stderr, "cpxbench: %s\n",
-                             error.c_str());
-                return 1;
-            }
-            std::printf("%s: OK\n", arg + 13);
-            return 0;
+            check_json = arg + 13;
+        } else if (std::strncmp(arg, "--baseline=", 11) == 0) {
+            baseline = arg + 11;
+        } else if (std::strncmp(arg, "--perf-summary=", 15) == 0) {
+            perf_summary = arg + 15;
         } else {
             fatal("unknown option '%s' (see the header of "
                   "tools/cpxbench.cc)",
                   arg);
         }
     }
+
+    if (!perf_summary.empty()) {
+        std::string error;
+        if (!printPerfSummary(perf_summary, error)) {
+            std::fprintf(stderr, "cpxbench: %s\n", error.c_str());
+            return 1;
+        }
+        return 0;
+    }
+
+    if (!check_json.empty()) {
+        std::string error;
+        if (!validateResultsFile(check_json, error)) {
+            std::fprintf(stderr, "cpxbench: %s\n", error.c_str());
+            return 1;
+        }
+        if (!baseline.empty()) {
+            std::string warning;
+            if (!compareToBaseline(check_json, baseline, error,
+                                   warning)) {
+                std::fprintf(stderr, "cpxbench: %s\n", error.c_str());
+                return 1;
+            }
+            if (!warning.empty())
+                std::fprintf(stderr, "cpxbench: warning: %s\n",
+                             warning.c_str());
+            std::printf("%s: OK (matches baseline %s)\n",
+                        check_json.c_str(), baseline.c_str());
+            return 0;
+        }
+        std::printf("%s: OK\n", check_json.c_str());
+        return 0;
+    }
+    if (!baseline.empty())
+        fatal("--baseline requires --check-json");
 
     if (list_only) {
         for (const BenchDef &def : benchRegistry())
