@@ -311,6 +311,33 @@ writeJson(const std::string &path, const std::string &suite,
             << jsonNumber(s.migratoryDetections) << ", "
             << "\"invalidationsSent\": "
             << jsonNumber(s.invalidationsSent) << "},\n";
+        auto hist = [&](const char *key, const Histogram &h,
+                        const char *tail) {
+            const Accumulator &a = h.summary();
+            out << "\"" << key << "\": {"
+                << "\"count\": " << jsonNumber(a.count()) << ", "
+                << "\"mean\": " << jsonNumber(a.mean()) << ", "
+                << "\"min\": " << jsonNumber(a.min()) << ", "
+                << "\"max\": " << jsonNumber(a.max()) << ", "
+                << "\"bucketWidth\": "
+                << jsonNumber(h.bucketWidth()) << ", "
+                << "\"overflow\": "
+                << jsonNumber(h.overflowCount()) << ", "
+                << "\"buckets\": [";
+            // Trim trailing zero buckets: the geometry is fixed, so
+            // the baseline diff stays byte-stable and compact.
+            const auto &counts = h.bucketCounts();
+            std::size_t last = counts.size();
+            while (last > 0 && counts[last - 1] == 0)
+                --last;
+            for (std::size_t b = 0; b < last; ++b)
+                out << (b ? ", " : "") << jsonNumber(counts[b]);
+            out << "]}" << tail;
+        };
+        out << "      \"latency\": {";
+        hist("readMiss", s.readMissLatency, ", ");
+        hist("ownership", s.ownershipLatency, ", ");
+        hist("prefetchFill", s.prefetchFillLatency, "},\n");
         out << "      \"kernel\": {"
             << "\"eventsExecuted\": " << jsonNumber(s.eventsExecuted)
             << ", "
@@ -622,6 +649,74 @@ validateResultsFile(const std::string &path, std::string &error)
     return true;
 }
 
+bool
+validateTraceFile(const std::string &path, std::string &error)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+
+    JsonValue doc;
+    if (!parseJson(text.str(), doc, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    if (doc.kind != JsonValue::Kind::Object ||
+        !doc.has("traceEvents") ||
+        doc.at("traceEvents").kind != JsonValue::Kind::Array) {
+        error = path + ": missing traceEvents array";
+        return false;
+    }
+    const auto &events = doc.at("traceEvents").items;
+    if (events.empty()) {
+        error = path + ": empty traceEvents array";
+        return false;
+    }
+
+    // Async transaction spans must pair up: per id, as many "b"
+    // begins as "e" ends (the exporter degrades unmatched spans to
+    // instants, so an imbalance means exporter breakage).
+    std::map<std::string, long> open_spans;
+    std::size_t spans = 0;
+    for (const JsonValue &ev : events) {
+        if (ev.kind != JsonValue::Kind::Object || !ev.has("ph") ||
+            !ev.has("pid")) {
+            error = path + ": malformed trace event";
+            return false;
+        }
+        const std::string &ph = ev.at("ph").text;
+        if (ph == "M")
+            continue;  // metadata: process/thread names
+        if (!ev.has("ts") || !ev.has("name")) {
+            error = path + ": trace event missing ts/name";
+            return false;
+        }
+        if (ph == "b" || ph == "e") {
+            if (!ev.has("id")) {
+                error = path + ": async event missing id";
+                return false;
+            }
+            open_spans[ev.at("id").text] += ph == "b" ? 1 : -1;
+            ++spans;
+        } else if (ph != "i") {
+            error = path + ": unexpected phase '" + ph + "'";
+            return false;
+        }
+    }
+    for (const auto &[id, balance] : open_spans) {
+        if (balance != 0) {
+            error = path + ": unbalanced b/e events for id " + id;
+            return false;
+        }
+    }
+    (void)spans;
+    return true;
+}
+
 namespace
 {
 
@@ -727,7 +822,7 @@ compareToBaseline(const std::string &path,
     static const char *const gated[] = {
         "tag",      "app",    "config",  "verified",
         "execTime", "breakdown", "misses", "traffic",
-        "protocolEvents",
+        "protocolEvents", "latency",
     };
     for (std::size_t i = 0; i < cur_pts.size(); ++i) {
         const JsonValue &c = cur_pts[i];

@@ -163,6 +163,15 @@ bool parseJson(const std::string &text, JsonValue &out,
 bool validateResultsFile(const std::string &path, std::string &error);
 
 /**
+ * Validate a Chrome-trace-event JSON file as written by the flight
+ * recorder exporter (TraceSink::writeChromeTrace): parseable, carries
+ * a non-empty traceEvents array, every event names a phase, and every
+ * async transaction begin ("b") has a matching end ("e") with the
+ * same id. Returns true on success; otherwise fills @p error.
+ */
+bool validateTraceFile(const std::string &path, std::string &error);
+
+/**
  * Compare a results file against a committed baseline. Every
  * simulated stat of every point — configuration, verification,
  * execTime, time breakdown, miss rates, traffic, protocol events —

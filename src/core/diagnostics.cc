@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/trace.hh"
+
 namespace cpx
 {
 
@@ -112,6 +114,11 @@ formatStallDiagnostics(System &sys)
                    l.addr, l.holder, l.waiters);
         }
     }
+    // With a flight recorder installed, the last protocol events per
+    // node usually point straight at the stalled transaction.
+    if (const TraceSink *tracer = sys.tracer())
+        out += tracer->formatTails();
+
     append(out, "=== end diagnostics ===\n");
     return out;
 }

@@ -57,6 +57,15 @@ collectStats(System &sys, Tick exec_time)
     }
     r.avgReadMissLatency = lat_count ? lat_sum / lat_count : 0.0;
 
+    // Latency distributions: per-node histograms share one geometry,
+    // so they merge bucket-by-bucket.
+    for (NodeId i = 0; i < p.numProcs; ++i) {
+        const SlcController &slc = sys.node(i).slc;
+        r.readMissLatency.merge(slc.readMissLatencyHist());
+        r.ownershipLatency.merge(slc.ownershipLatencyHist());
+        r.prefetchFillLatency.merge(slc.prefetchFillLatencyHist());
+    }
+
     r.eventsExecuted = sys.eq().executed();
     r.peakPendingEvents = sys.eq().peakPending();
     r.scheduleAllocs = sys.eq().scheduleAllocs();
@@ -145,6 +154,16 @@ formatSystemStats(System &sys)
              ull(slc.updatesReceived()));
         emit("node%u.slc.avgReadMissLatency %.1f\n", n,
              slc.readMissLatency().mean());
+        auto hist = [&](const char *what, const Histogram &h) {
+            const Accumulator &s = h.summary();
+            emit("node%u.latency.%s count=%llu mean=%.1f min=%.0f "
+                 "max=%.0f overflow=%llu\n",
+                 n, what, ull(s.count()), s.mean(), s.min(), s.max(),
+                 ull(h.overflowCount()));
+        };
+        hist("readMiss", slc.readMissLatencyHist());
+        hist("ownership", slc.ownershipLatencyHist());
+        hist("prefetchFill", slc.prefetchFillLatencyHist());
         emit("node%u.prefetch.issued %llu\n", n,
              ull(slc.prefetchEngine().issued()));
         emit("node%u.prefetch.useful %llu\n", n,

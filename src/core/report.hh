@@ -61,6 +61,15 @@ struct RunResult
     std::uint64_t counterInvalidations = 0; //!< CW competitive expiries
     double avgReadMissLatency = 0;
 
+    // Per-transaction latency distributions, merged across nodes
+    // (geometry from SlcController so the merge lines up).
+    Histogram readMissLatency{SlcController::latencyBucketWidth,
+                              SlcController::latencyBucketCount};
+    Histogram ownershipLatency{SlcController::latencyBucketWidth,
+                               SlcController::latencyBucketCount};
+    Histogram prefetchFillLatency{SlcController::latencyBucketWidth,
+                                  SlcController::latencyBucketCount};
+
     // Simulation-kernel telemetry (host-side throughput trajectory;
     // identical across hosts except where divided by host time).
     std::uint64_t eventsExecuted = 0;   //!< events the kernel dispatched

@@ -1,5 +1,7 @@
 #include "mem/write_cache.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace cpx
@@ -14,11 +16,19 @@ WriteCache::WriteCache(const AddressMap &amap, unsigned num_blocks)
         f.words.resize(map.wordsPerBlock(), 0);
 }
 
-unsigned
-WriteCache::frameFor(Addr block_addr) const
+WriteCache::Frame *
+WriteCache::findFrame(Addr block_addr)
 {
-    return static_cast<unsigned>(
-        (block_addr / map.blockBytes()) % numBlocks);
+    for (Frame &f : frames)
+        if (f.valid && f.blockAddr == block_addr)
+            return &f;
+    return nullptr;
+}
+
+const WriteCache::Frame *
+WriteCache::findFrame(Addr block_addr) const
+{
+    return const_cast<WriteCache *>(this)->findFrame(block_addr);
 }
 
 bool
@@ -26,64 +36,84 @@ WriteCache::writeWord(Addr addr, std::uint32_t value,
                       WriteCacheFlush &evicted)
 {
     Addr blk = map.blockAddr(addr);
-    Frame &f = frames[frameFor(blk)];
     unsigned word = map.wordInBlock(addr);
     std::uint32_t bit = 1u << word;
 
-    if (f.valid && f.blockAddr == blk) {
+    if (Frame *f = findFrame(blk)) {
         // This write combines with earlier writes to the same block:
-        // it will ride in the same flush message.
+        // it will ride in the same flush message. Combining does not
+        // refresh the frame's FIFO position.
         ++combined;
-        f.dirtyMask |= bit;
-        f.words[word] = value;
+        f->dirtyMask |= bit;
+        f->words[word] = value;
         return false;
     }
 
-    bool evict = f.valid;
+    // Allocate: a free frame if any, else the oldest resident block
+    // (FIFO — the buffer is fully associative, §3.3 / [4]).
+    Frame *target = nullptr;
+    for (Frame &f : frames) {
+        if (!f.valid) {
+            target = &f;
+            break;
+        }
+        if (!target || f.seq < target->seq)
+            target = &f;
+    }
+
+    bool evict = target->valid;
     if (evict) {
-        evicted = WriteCacheFlush{f.blockAddr, f.dirtyMask, f.words};
+        evicted = WriteCacheFlush{target->blockAddr, target->dirtyMask,
+                                  target->words};
         ++victims;
     }
-    f.valid = true;
-    f.blockAddr = blk;
-    f.dirtyMask = bit;
-    f.words[word] = value;
+    target->valid = true;
+    target->blockAddr = blk;
+    target->dirtyMask = bit;
+    target->seq = nextSeq++;
+    target->words[word] = value;
     return evict;
 }
 
 bool
 WriteCache::contains(Addr addr) const
 {
-    Addr blk = map.blockAddr(addr);
-    const Frame &f = frames[frameFor(blk)];
-    return f.valid && f.blockAddr == blk;
+    return findFrame(map.blockAddr(addr)) != nullptr;
 }
 
 bool
 WriteCache::readWord(Addr addr, std::uint32_t &value) const
 {
-    Addr blk = map.blockAddr(addr);
-    const Frame &f = frames[frameFor(blk)];
-    if (!f.valid || f.blockAddr != blk)
+    const Frame *f = findFrame(map.blockAddr(addr));
+    if (!f)
         return false;
     unsigned word = map.wordInBlock(addr);
-    if (!(f.dirtyMask & (1u << word)))
+    if (!(f->dirtyMask & (1u << word)))
         return false;
-    value = f.words[word];
+    value = f->words[word];
     return true;
 }
 
 std::vector<WriteCacheFlush>
 WriteCache::flushAll()
 {
+    // Oldest first: insertion (FIFO) order, deterministic.
+    std::vector<Frame *> resident;
+    for (Frame &f : frames)
+        if (f.valid)
+            resident.push_back(&f);
+    std::sort(resident.begin(), resident.end(),
+              [](const Frame *a, const Frame *b) {
+        return a->seq < b->seq;
+    });
+
     std::vector<WriteCacheFlush> out;
-    for (Frame &f : frames) {
-        if (f.valid) {
-            out.push_back(
-                WriteCacheFlush{f.blockAddr, f.dirtyMask, f.words});
-            f.valid = false;
-            f.dirtyMask = 0;
-        }
+    out.reserve(resident.size());
+    for (Frame *f : resident) {
+        out.push_back(
+            WriteCacheFlush{f->blockAddr, f->dirtyMask, f->words});
+        f->valid = false;
+        f->dirtyMask = 0;
     }
     return out;
 }
@@ -91,11 +121,9 @@ WriteCache::flushAll()
 void
 WriteCache::drop(Addr addr)
 {
-    Addr blk = map.blockAddr(addr);
-    Frame &f = frames[frameFor(blk)];
-    if (f.valid && f.blockAddr == blk) {
-        f.valid = false;
-        f.dirtyMask = 0;
+    if (Frame *f = findFrame(map.blockAddr(addr))) {
+        f->valid = false;
+        f->dirtyMask = 0;
     }
 }
 

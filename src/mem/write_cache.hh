@@ -3,13 +3,14 @@
  * The write cache of Dahlgren & Stenström [4], used by the CW
  * extension (§3.3 of the paper).
  *
- * A small direct-mapped cache that allocates on writes only and keeps
- * per-word dirty bits *and values*. Consecutive writes to the same
- * block combine until the block is victimized or a release flushes
- * the cache; the dirty words then travel to the home node in a single
- * message. The simulator is data-carrying: values written here are
- * invisible to other caches until the flush propagates, exactly as in
- * the modelled hardware.
+ * A small fully associative FIFO buffer that allocates on writes only
+ * and keeps per-word dirty bits *and values*. Consecutive writes to
+ * the same block combine until the block is victimized (oldest-first
+ * when all frames are resident) or a release flushes the cache; the
+ * dirty words then travel to the home node in a single message. The
+ * simulator is data-carrying: values written here are invisible to
+ * other caches until the flush propagates, exactly as in the
+ * modelled hardware.
  */
 
 #ifndef CPX_MEM_WRITE_CACHE_HH
@@ -73,7 +74,8 @@ class WriteCache
 
     /**
      * Remove and return every resident record (release-time flush).
-     * Records are returned in frame order (deterministic).
+     * Records are returned oldest-first (insertion order,
+     * deterministic).
      */
     std::vector<WriteCacheFlush> flushAll();
 
@@ -96,14 +98,17 @@ class WriteCache
         bool valid = false;
         Addr blockAddr = 0;
         std::uint32_t dirtyMask = 0;
+        std::uint64_t seq = 0;  //!< insertion order (FIFO victim pick)
         std::vector<std::uint32_t> words;
     };
 
-    unsigned frameFor(Addr block_addr) const;
+    Frame *findFrame(Addr block_addr);
+    const Frame *findFrame(Addr block_addr) const;
 
     const AddressMap &map;
     unsigned numBlocks;
     std::vector<Frame> frames;
+    std::uint64_t nextSeq = 0;
     Counter combined;
     Counter victims;
 };

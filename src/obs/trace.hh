@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Protocol flight recorder: per-node ring buffers of compact binary
+ * trace records.
+ *
+ * Every node owns a fixed-capacity ring of 32-byte TraceRecords; new
+ * records overwrite the oldest once the ring is full, so memory is
+ * bounded no matter how long the run is. Recording goes through the
+ * CPX_RECORD macro, which compiles to a single predictable null-check
+ * branch when no TraceSink is installed — the common case pays
+ * nothing beyond that branch, preserving the kernel's events/s.
+ *
+ * Three consumers read the rings:
+ *  - the Chrome-trace-event JSON exporter (cpxsim --trace-out=PATH),
+ *    loadable in Perfetto/catapult: one track per node, duration
+ *    events for SLC transactions, instants for everything else;
+ *  - formatTails(), a human-readable last-N-events-per-node dump
+ *    appended to the stall diagnostics (Watchdog, System::run);
+ *  - installFailureDump(), which registers the sink with the logging
+ *    layer so panic()/fatal() print the tails before dying.
+ */
+
+#ifndef CPX_OBS_TRACE_HH
+#define CPX_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+/** What happened. Kept in sync with kindName() in trace.cc. */
+enum class TraceKind : std::uint16_t
+{
+    MsgSend,        //!< protocol message injected (addr=payload bytes)
+    MsgRecv,        //!< protocol message delivered at the receiver
+    SlcState,       //!< SLC line state/contents changed (arg=new state)
+    DirState,       //!< directory entry changed at its home
+    TxnStart,       //!< SLC transaction entered the SLWB
+    TxnEnd,         //!< SLC transaction completed (arg=latency)
+    PrefetchIssue,  //!< hardware prefetch sent to the home
+    PrefetchDrop,   //!< prefetch dropped (SLWB full)
+    PrefetchFill,   //!< pure prefetch data arrived (arg=latency)
+    WcInsert,       //!< write allocated a write-cache frame
+    WcCombine,      //!< write combined into a resident frame
+    WcFlush,        //!< combined-write flush issued (arg=dirty mask)
+    LockAcquire,    //!< lock granted by its home (aux=holder)
+    LockRelease,    //!< lock released at its home (aux=releaser)
+};
+
+/** SLC transaction kinds as recorded in TxnStart/TxnEnd aux. Mirrors
+ *  SlcController::Txn::Kind (slc.cc converts explicitly). */
+enum class TraceTxn : std::uint32_t
+{
+    Read,
+    Prefetch,
+    WriteMiss,
+    Upgrade,
+    Update,
+};
+
+/** Short name of a record kind ("msg-send", "txn-start", ...). */
+const char *traceKindName(TraceKind kind);
+
+/** Name of a TraceTxn code ("read", "write-miss", ...). */
+const char *traceTxnName(std::uint32_t txn_code);
+
+/** One flight-recorder entry. Meaning of addr/arg/aux is per-kind
+ *  (see TraceKind); compact and trivially copyable by design. */
+struct TraceRecord
+{
+    Tick tick = 0;           //!< simulated time of the event
+    Addr addr = 0;           //!< block/lock address (payload for msgs)
+    std::uint64_t arg = 0;   //!< kind-specific (msg id, latency, mask)
+    TraceKind kind = TraceKind::MsgSend;
+    std::uint16_t node = 0;  //!< recording node
+    std::uint32_t aux = 0;   //!< kind-specific (peer|class, txn kind)
+};
+
+static_assert(sizeof(TraceRecord) == 32,
+              "trace records are meant to stay compact");
+
+/** Pack a message peer + class into a TraceRecord aux. */
+constexpr std::uint32_t
+traceMsgAux(NodeId peer, unsigned msg_class)
+{
+    return static_cast<std::uint32_t>(peer) | (msg_class << 16);
+}
+
+constexpr NodeId traceAuxPeer(std::uint32_t aux) { return aux & 0xffff; }
+constexpr unsigned traceAuxClass(std::uint32_t aux) { return aux >> 16; }
+
+/** Fixed-capacity overwrite-oldest record ring. */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::size_t capacity)
+        : buf(capacity ? capacity : 1)
+    {}
+
+    void
+    push(const TraceRecord &rec)
+    {
+        buf[head] = rec;
+        head = head + 1 == buf.size() ? 0 : head + 1;
+        ++pushed;
+    }
+
+    std::size_t capacity() const { return buf.size(); }
+
+    /** Records currently resident (== capacity once wrapped). */
+    std::size_t
+    size() const
+    {
+        return pushed < buf.size() ? static_cast<std::size_t>(pushed)
+                                   : buf.size();
+    }
+
+    /** Records ever pushed. */
+    std::uint64_t total() const { return pushed; }
+
+    /** Records lost to overwrite. */
+    std::uint64_t overwritten() const { return pushed - size(); }
+
+    /** Resident records, oldest first. */
+    std::vector<TraceRecord> snapshot() const;
+
+  private:
+    std::vector<TraceRecord> buf;
+    std::size_t head = 0;      //!< next write position
+    std::uint64_t pushed = 0;
+};
+
+/**
+ * The per-system flight recorder: one ring per node plus the export
+ * and dump machinery. Install on a Fabric with setTracer(); agents
+ * reach it through CPX_RECORD. Timestamps come from the system's
+ * event queue.
+ */
+class TraceSink
+{
+  public:
+    static constexpr std::size_t defaultRingCapacity = 4096;
+
+    TraceSink(const EventQueue &eq, unsigned num_nodes,
+              std::size_t capacity_per_node = defaultRingCapacity);
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    void
+    record(NodeId node, TraceKind kind, Addr addr,
+           std::uint64_t arg = 0, std::uint32_t aux = 0)
+    {
+        rings[node].push(TraceRecord{queue.now(), addr, arg, kind,
+                                     static_cast<std::uint16_t>(node),
+                                     aux});
+    }
+
+    /** Fresh correlation id for a message send/recv pair. */
+    std::uint64_t nextMsgId() { return ++lastMsgId; }
+
+    unsigned numNodes() const {
+        return static_cast<unsigned>(rings.size());
+    }
+    const TraceRing &ring(NodeId node) const { return rings[node]; }
+
+    /** Records pushed across all nodes (including overwritten). */
+    std::uint64_t recorded() const;
+
+    /** Records lost to ring overwrite across all nodes. */
+    std::uint64_t overwritten() const;
+
+    // --- exporters ----------------------------------------------------------
+    /**
+     * Render the rings as a Chrome-trace-event JSON document
+     * (Perfetto/catapult loadable). One track per node; matched
+     * TxnStart/TxnEnd pairs become async duration events ("b"/"e",
+     * always balanced), everything else becomes instants.
+     */
+    std::string chromeTraceJson() const;
+
+    /** Write chromeTraceJson() to @p path; false + @p error on I/O
+     *  failure. */
+    bool writeChromeTrace(const std::string &path,
+                          std::string &error) const;
+
+    /** Human-readable last-@p per_node events per node (stall dumps). */
+    std::string formatTails(std::size_t per_node = 16) const;
+
+    /**
+     * Register this sink with the logging layer so panic()/fatal()
+     * on this thread dump formatTails() to stderr before dying.
+     * Deregistered automatically on destruction.
+     */
+    void installFailureDump();
+
+  private:
+    static void failureDump(void *ctx);
+
+    const EventQueue &queue;
+    std::vector<TraceRing> rings;
+    std::uint64_t lastMsgId = 0;
+};
+
+} // namespace cpx
+
+/**
+ * Record a protocol event iff a TraceSink is installed. @p sink_expr
+ * is typically fabric.tracer(); the extra arguments are evaluated
+ * only when tracing is on, so the disabled path is exactly one
+ * null-check branch.
+ */
+#define CPX_RECORD(sink_expr, node, kind, ...)                          \
+    do {                                                                \
+        if (::cpx::TraceSink *cpxSink_ = (sink_expr))                   \
+            cpxSink_->record(node, kind, __VA_ARGS__);                  \
+    } while (0)
+
+#endif // CPX_OBS_TRACE_HH

@@ -1,6 +1,7 @@
 #include "proto/directory.hh"
 
 #include "mem/backing_store.hh"
+#include "obs/trace.hh"
 #include "proto/messenger.hh"
 #include "proto/slc.hh"
 #include "sim/logging.hh"
@@ -117,6 +118,10 @@ DirectoryController::finish(Addr block, Entry &e)
     // again, which makes the checker skip it).
     if (ProtocolObserver *obs = fabric.observer())
         obs->onDirectoryTransition(self, block);
+    CPX_RECORD(fabric.tracer(), self, TraceKind::DirState, block,
+               e.presence,
+               (e.owner == invalidNode ? 0xffffu : e.owner & 0xffffu) |
+                   (e.modified ? 1u << 16 : 0u));
     if (!e.queue.empty())
         startNext(block);
 }

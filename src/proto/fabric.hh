@@ -26,6 +26,7 @@ class SlcController;
 class DirectoryController;
 class LockManager;
 class BackingStore;
+class TraceSink;
 
 /**
  * The slice of the processor model the protocol layer calls back
@@ -101,8 +102,19 @@ class Fabric
     /** Install (or, with nullptr, remove) a protocol observer. */
     void setObserver(ProtocolObserver *obs) { observer_ = obs; }
 
+    /**
+     * The installed flight recorder, or nullptr (the usual case).
+     * Agents record through CPX_RECORD (src/obs/trace.hh), which
+     * reduces to this one null check when tracing is off.
+     */
+    TraceSink *tracer() const { return tracer_; }
+
+    /** Install (or, with nullptr, remove) a flight recorder. */
+    void setTracer(TraceSink *sink) { tracer_ = sink; }
+
   private:
     ProtocolObserver *observer_ = nullptr;
+    TraceSink *tracer_ = nullptr;
 };
 
 } // namespace cpx

@@ -1,5 +1,6 @@
 #include "proto/lock_manager.hh"
 
+#include "obs/trace.hh"
 #include "proto/messages.hh"
 #include "proto/messenger.hh"
 #include "sim/logging.hh"
@@ -41,6 +42,8 @@ LockManager::onRelease(Addr lock_addr, NodeId from)
         if (!ls.held || ls.holder != from)
             panic("release of lock %llx by non-holder node %u",
                   static_cast<unsigned long long>(lock_addr), from);
+        CPX_RECORD(fabric.tracer(), self, TraceKind::LockRelease,
+                   lock_addr, 0, from);
 
         // Acknowledge the releaser (the SC processor stalls on this).
         sendProtocolMessage(fabric, self, from, msg_bytes::control,
@@ -64,6 +67,8 @@ LockManager::onRelease(Addr lock_addr, NodeId from)
 void
 LockManager::grant(Addr lock_addr, NodeId to)
 {
+    CPX_RECORD(fabric.tracer(), self, TraceKind::LockAcquire,
+               lock_addr, 0, to);
     sendProtocolMessage(fabric, self, to, msg_bytes::control,
                         [this, lock_addr, to] {
         fabric.proc(to).onLockGrant(lock_addr);

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "net/network.hh"
+#include "obs/trace.hh"
 #include "proto/fabric.hh"
 
 namespace cpx
@@ -39,6 +40,8 @@ struct MsgChain
     NodeId dst;
     unsigned payload;
     Tick busXfer;
+    MsgClass klass;
+    std::uint64_t traceId;  //!< flight-recorder send/recv correlation
     EventQueue::Callback atDst;
 };
 
@@ -62,22 +65,33 @@ sendProtocolMessage(Fabric &fabric, NodeId src, NodeId dst,
     EventQueue &eq = fabric.eq();
     const Tick bus_xfer = fabric.params().busTransferLatency;
 
+    std::uint64_t trace_id = 0;
+    if (TraceSink *t = fabric.tracer()) {
+        trace_id = t->nextMsgId();
+        t->record(src, TraceKind::MsgSend, payload, trace_id,
+                  traceMsgAux(dst, static_cast<unsigned>(klass)));
+    }
+
     auto chain = std::make_unique<detail::MsgChain>(
-        detail::MsgChain{fabric, src, dst, payload, bus_xfer,
-                         std::move(at_dst)});
+        detail::MsgChain{fabric, src, dst, payload, bus_xfer, klass,
+                         trace_id, std::move(at_dst)});
 
     Tick start = fabric.bus(src).reserve(eq.now(), bus_xfer);
-    eq.schedule(start + bus_xfer, [c = std::move(chain), klass]() mutable {
+    eq.schedule(start + bus_xfer, [c = std::move(chain)]() mutable {
         detail::MsgChain &m = *c;
         m.fabric.net().send(m.src, m.dst, m.payload,
                             [c = std::move(c)]() mutable {
             detail::MsgChain &m = *c;
             if (ProtocolObserver *obs = m.fabric.observer())
                 obs->onMessageDelivered(m.src, m.dst);
+            CPX_RECORD(m.fabric.tracer(), m.dst, TraceKind::MsgRecv,
+                       m.payload, m.traceId,
+                       traceMsgAux(m.src,
+                                   static_cast<unsigned>(m.klass)));
             Tick s = m.fabric.bus(m.dst).reserve(m.fabric.eq().now(),
                                                  m.busXfer);
             m.fabric.eq().schedule(s + m.busXfer, std::move(m.atDst));
-        }, klass);
+        }, m.klass);
     });
 }
 

@@ -56,7 +56,11 @@ Prefetcher::notifyDemandMiss(Addr, bool prev_missed)
     if (++zeroMissCtr == counterModulo) {
         double fraction =
             static_cast<double>(lookaheadCtr) / counterModulo;
-        if (fraction >= params.prefetchHighMark) {
+        // Bounds check mirrors adapt(): with prefetchMaxDegree == 0
+        // the clipped ladder is just {0} and there is no rung to
+        // re-enable to.
+        if (fraction >= params.prefetchHighMark &&
+            ladderIdx + 1 < ladderSize) {
             ++ladderIdx;  // 0 -> 1
             ++raises;
         }

@@ -1,6 +1,7 @@
 #include "proto/slc.hh"
 
 #include "mem/backing_store.hh"
+#include "obs/trace.hh"
 #include "proto/directory.hh"
 #include "proto/messenger.hh"
 #include "sim/logging.hh"
@@ -46,6 +47,12 @@ SlcController::notifyObserver(Addr block)
 {
     if (ProtocolObserver *obs = fabric.observer())
         obs->onSlcTransition(self, block);
+    if (TraceSink *t = fabric.tracer()) {
+        const Line *line = tags.find(block);
+        std::uint64_t state =
+            !line ? 0 : line->state == LineState::Dirty ? 2 : 1;
+        t->record(self, TraceKind::SlcState, block, state);
+    }
 }
 
 void
@@ -82,6 +89,21 @@ SlcController::releaseSlwb()
 SlcController::Txn &
 SlcController::createTxn(Addr block, Txn::Kind kind)
 {
+    // Txn::Kind is recorded verbatim in TxnStart/TxnEnd aux fields;
+    // the two enums must stay in lockstep.
+    static_assert(
+        static_cast<unsigned>(Txn::Kind::Read) ==
+                static_cast<unsigned>(TraceTxn::Read) &&
+            static_cast<unsigned>(Txn::Kind::Prefetch) ==
+                static_cast<unsigned>(TraceTxn::Prefetch) &&
+            static_cast<unsigned>(Txn::Kind::WriteMiss) ==
+                static_cast<unsigned>(TraceTxn::WriteMiss) &&
+            static_cast<unsigned>(Txn::Kind::Upgrade) ==
+                static_cast<unsigned>(TraceTxn::Upgrade) &&
+            static_cast<unsigned>(Txn::Kind::Update) ==
+                static_cast<unsigned>(TraceTxn::Update),
+        "Txn::Kind and TraceTxn diverged");
+
     auto [it, inserted] = txns.try_emplace(block);
     if (!inserted)
         panic("duplicate transaction for block %llx at node %u",
@@ -89,6 +111,8 @@ SlcController::createTxn(Addr block, Txn::Kind kind)
     it->second.kind = kind;
     it->second.start = fabric.eq().now();
     ++slwbUsed;
+    CPX_RECORD(fabric.tracer(), self, TraceKind::TxnStart, block, 0,
+               static_cast<std::uint32_t>(kind));
     return it->second;
 }
 
@@ -312,10 +336,16 @@ SlcController::issuePrefetches(Addr demand_block)
             (writeCache.contains(pblock) ||
              pendingFlushes.count(pblock)))
             continue;
-        if (slwbUsed >= params.slwbEntries)
-            break;  // no SLWB room: drop remaining prefetches
+        if (slwbUsed >= params.slwbEntries) {
+            // No SLWB room: drop this and all remaining prefetches.
+            CPX_RECORD(fabric.tracer(), self, TraceKind::PrefetchDrop,
+                       pblock);
+            break;
+        }
         createTxn(pblock, Txn::Kind::Prefetch);
         prefetcher.notifyIssued();
+        CPX_RECORD(fabric.tracer(), self, TraceKind::PrefetchIssue,
+                   pblock);
         NodeId from = self;
         sendToHome(pblock, msg_bytes::control,
                    [pblock, from](DirectoryController &dir) {
@@ -400,9 +430,15 @@ SlcController::handleWrite(Addr a, std::uint64_t value, unsigned bytes,
                 // The write lands in the write cache; no global
                 // action until the block is victimized or released.
                 for (unsigned i = 0; i < nwords; ++i) {
+                    Addr wa = a + Addr(i) * wordBytes;
+                    CPX_RECORD(fabric.tracer(), self,
+                               writeCache.contains(wa)
+                                   ? TraceKind::WcCombine
+                                   : TraceKind::WcInsert,
+                               block);
                     WriteCacheFlush victim;
-                    if (writeCache.writeWord(a + Addr(i) * wordBytes,
-                                             word_value(i), victim)) {
+                    if (writeCache.writeWord(wa, word_value(i),
+                                             victim)) {
                         startUpdateFlush(victim);
                     }
                 }
@@ -540,6 +576,8 @@ SlcController::startUpdateFlush(const WriteCacheFlush &rec)
         return;
     }
     createTxn(rec.blockAddr, Txn::Kind::Update);
+    CPX_RECORD(fabric.tracer(), self, TraceKind::WcFlush,
+               rec.blockAddr, rec.dirtyMask);
     NodeId from = self;
     std::uint32_t mask = rec.dirtyMask;
     std::vector<std::uint32_t> words = rec.words;
@@ -581,8 +619,11 @@ SlcController::softwarePrefetch(Addr a, bool exclusive)
         if (params.protocol.compUpdate && params.writeCacheEnabled &&
             (writeCache.contains(a) || pendingFlushes.count(block)))
             return;
-        if (slwbUsed >= params.slwbEntries)
+        if (slwbUsed >= params.slwbEntries) {
+            CPX_RECORD(fabric.tracer(), self, TraceKind::PrefetchDrop,
+                       block);
             return;  // prefetches are droppable
+        }
 
         // Software prefetches share the "prefetched, unreferenced"
         // line bit with the hardware engine (a demand hit will also
@@ -705,6 +746,20 @@ SlcController::onReply(Addr block, ReplyKind kind)
                   self, (unsigned long long)block, (int)kind,
                   (int)txn.kind);
 
+        // Transaction latency: histogram sampling and trace records
+        // are observation-only — neither perturbs event timing, so
+        // simulated stats stay bit-identical with tracing off or on.
+        const Tick lat = fabric.eq().now() - txn.start;
+        CPX_RECORD(fabric.tracer(), self, TraceKind::TxnEnd, block,
+                   lat, static_cast<std::uint32_t>(txn.kind));
+        if (txn.kind == Txn::Kind::WriteMiss ||
+            txn.kind == Txn::Kind::Upgrade) {
+            latOwnership.sample(lat);
+        } else if (txn.kind == Txn::Kind::Prefetch &&
+                   !txn.demandJoined) {
+            latPrefetchFill.sample(lat);
+        }
+
         switch (kind) {
           case ReplyKind::DataShared:
           case ReplyKind::DataExclusive: {
@@ -713,9 +768,12 @@ SlcController::onReply(Addr block, ReplyKind kind)
                           (txn.kind == Txn::Kind::Prefetch &&
                            txn.demandJoined);
             if (demand) {
-                missLatency.sample(static_cast<double>(
-                    fabric.eq().now() - txn.start));
+                missLatency.sample(static_cast<double>(lat));
+                latReadMiss.sample(lat);
             }
+            if (txn.kind == Txn::Kind::Prefetch && !txn.demandJoined)
+                CPX_RECORD(fabric.tracer(), self,
+                           TraceKind::PrefetchFill, block, lat);
             if (txn.kind == Txn::Kind::WriteMiss ||
                 txn.kind == Txn::Kind::Upgrade) {
                 for (Callback &cb : txn.writeWaiters)

@@ -229,6 +229,24 @@ class SlcController
     }
     const Accumulator &readMissLatency() const { return missLatency; }
 
+    /** Bucket geometry of the per-transaction latency histograms,
+     *  shared with RunResult so per-node merges line up. */
+    static constexpr std::uint64_t latencyBucketWidth = 16;
+    static constexpr std::size_t latencyBucketCount = 64;
+
+    /** Demand read-miss latency distribution (pclocks). */
+    const Histogram &readMissLatencyHist() const {
+        return latReadMiss;
+    }
+    /** Ownership-acquisition (write-miss/upgrade) latency. */
+    const Histogram &ownershipLatencyHist() const {
+        return latOwnership;
+    }
+    /** Pure (not demand-joined) prefetch fill latency. */
+    const Histogram &prefetchFillLatencyHist() const {
+        return latPrefetchFill;
+    }
+
   private:
     /** One SLWB-tracked outstanding transaction. */
     struct Txn
@@ -336,6 +354,9 @@ class SlcController
     Counter statUpdatesReceived;
     Counter statSwPrefetches;
     Accumulator missLatency;
+    Histogram latReadMiss{latencyBucketWidth, latencyBucketCount};
+    Histogram latOwnership{latencyBucketWidth, latencyBucketCount};
+    Histogram latPrefetchFill{latencyBucketWidth, latencyBucketCount};
 };
 
 } // namespace cpx

@@ -8,6 +8,8 @@ namespace cpx
 bool Logger::allEnabled = false;
 std::unordered_set<std::string> Logger::enabledTags;
 thread_local const std::uint64_t *Logger::tickSource = nullptr;
+thread_local Logger::FailureHook Logger::failureHook = nullptr;
+thread_local void *Logger::failureCtx = nullptr;
 
 void
 Logger::enable(const std::string &tag)
@@ -48,6 +50,33 @@ Logger::clearTickSource(const std::uint64_t *tick_ptr)
 }
 
 void
+Logger::setFailureHook(FailureHook hook, void *ctx)
+{
+    failureHook = hook;
+    failureCtx = ctx;
+}
+
+void
+Logger::clearFailureHook(void *ctx)
+{
+    if (failureCtx == ctx) {
+        failureHook = nullptr;
+        failureCtx = nullptr;
+    }
+}
+
+void
+Logger::invokeFailureHook()
+{
+    FailureHook hook = failureHook;
+    void *ctx = failureCtx;
+    failureHook = nullptr;
+    failureCtx = nullptr;
+    if (hook)
+        hook(ctx);
+}
+
+void
 Logger::trace(const char *tag, const char *fmt, ...)
 {
     std::uint64_t now = tickSource ? *tickSource : 0;
@@ -80,6 +109,7 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     vreport("panic", fmt, args);
     va_end(args);
+    Logger::invokeFailureHook();
     std::abort();
 }
 
@@ -90,6 +120,7 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     vreport("fatal", fmt, args);
     va_end(args);
+    Logger::invokeFailureHook();
     std::exit(1);
 }
 

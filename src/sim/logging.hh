@@ -61,10 +61,37 @@ class Logger
      */
     static void clearTickSource(const std::uint64_t *tick_ptr);
 
+    /**
+     * Last-words hook: called (once) by panic() and fatal() after the
+     * message is printed, before the process dies. The flight
+     * recorder installs itself here to dump the recent protocol
+     * events of a failing run. Thread-local, like the tick source:
+     * concurrent sweep systems each dump their own recorder.
+     */
+    using FailureHook = void (*)(void *ctx);
+
+    /** Install @p hook with @p ctx as this thread's failure hook. */
+    static void setFailureHook(FailureHook hook, void *ctx);
+
+    /**
+     * Remove the failure hook if @p ctx is still the installed
+     * context (a newer hook on the same thread stays).
+     */
+    static void clearFailureHook(void *ctx);
+
+    /**
+     * Run and clear the installed hook, if any. Clearing first makes
+     * the call re-entrancy safe: a hook that itself panics cannot
+     * recurse. Called by panic()/fatal().
+     */
+    static void invokeFailureHook();
+
   private:
     static bool allEnabled;
     static std::unordered_set<std::string> enabledTags;
     static thread_local const std::uint64_t *tickSource;
+    static thread_local FailureHook failureHook;
+    static thread_local void *failureCtx;
 };
 
 /** Report an internal simulator bug and abort. */

@@ -1,27 +1,55 @@
 #include "sim/stats.hh"
 
+#include <cstdarg>
 #include <cstdio>
 
 namespace cpx
 {
 
+namespace
+{
+
+/** printf into a growing std::string; never truncates. */
+void
+append(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+append(std::string &out, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed > 0) {
+        std::size_t old = out.size();
+        out.resize(old + static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(&out[old], static_cast<std::size_t>(needed) + 1,
+                       fmt, args);
+        out.resize(old + static_cast<std::size_t>(needed));
+    }
+    va_end(args);
+}
+
+} // anonymous namespace
+
 void
 StatGroup::dump(std::string &out) const
 {
-    char line[256];
+    // Names are unbounded (they embed node numbers and caller-chosen
+    // prefixes): format through a measured two-pass vsnprintf so
+    // long group/stat names are never silently truncated.
     for (const auto &[stat_name, counter] : counters) {
-        std::snprintf(line, sizeof(line), "%s.%s %llu\n", name_.c_str(),
-                      stat_name.c_str(),
-                      static_cast<unsigned long long>(counter->value()));
-        out += line;
+        append(out, "%s.%s %llu\n", name_.c_str(), stat_name.c_str(),
+               static_cast<unsigned long long>(counter->value()));
     }
     for (const auto &[stat_name, acc] : accumulators) {
-        std::snprintf(line, sizeof(line),
-                      "%s.%s count=%llu mean=%.4f min=%.4f max=%.4f\n",
-                      name_.c_str(), stat_name.c_str(),
-                      static_cast<unsigned long long>(acc->count()),
-                      acc->mean(), acc->min(), acc->max());
-        out += line;
+        append(out, "%s.%s count=%llu mean=%.4f min=%.4f max=%.4f\n",
+               name_.c_str(), stat_name.c_str(),
+               static_cast<unsigned long long>(acc->count()),
+               acc->mean(), acc->min(), acc->max());
     }
 }
 

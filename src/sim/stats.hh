@@ -13,6 +13,7 @@
 #define CPX_SIM_STATS_HH
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -54,6 +55,22 @@ class Accumulator
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Fold @p other in, as if its samples had been taken here. */
+    void
+    merge(const Accumulator &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        count_ += other.count_;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
 
     void
     reset()
@@ -102,6 +119,21 @@ class Histogram
     std::uint64_t overflowCount() const { return overflow; }
     std::uint64_t bucketWidth() const { return width; }
     const Accumulator &summary() const { return acc; }
+
+    /**
+     * Fold @p other in (per-node → system aggregation).
+     * @pre identical bucket geometry
+     */
+    void
+    merge(const Histogram &other)
+    {
+        assert(width == other.width &&
+               buckets.size() == other.buckets.size());
+        for (std::size_t i = 0; i < buckets.size(); ++i)
+            buckets[i] += other.buckets[i];
+        overflow += other.overflow;
+        acc.merge(other.acc);
+    }
 
     void
     reset()

@@ -207,19 +207,68 @@ TEST(WriteCache, CombinesWritesToOneBlock)
     EXPECT_EQ(wc.occupancy(), 0u);
 }
 
-TEST(WriteCache, VictimizesOnFrameConflict)
+TEST(WriteCache, FullyAssociativeAliasesCoexist)
+{
+    AddressMap amap(32, 4096, 16);
+    WriteCache wc(amap, 4);
+    WriteCacheFlush victim;
+    // 0x000/0x080/0x100/0x180 would all collide in a direct-mapped
+    // buffer of 4 frames; the paper's write cache is fully
+    // associative, so all four blocks stay resident together.
+    EXPECT_FALSE(wc.writeWord(0x000, 7, victim));
+    EXPECT_FALSE(wc.writeWord(0x080, 9, victim));
+    EXPECT_FALSE(wc.writeWord(0x100, 11, victim));
+    EXPECT_FALSE(wc.writeWord(0x180, 13, victim));
+    EXPECT_EQ(wc.victimFlushes().value(), 0u);
+    EXPECT_EQ(wc.occupancy(), 4u);
+    EXPECT_TRUE(wc.contains(0x000));
+    EXPECT_TRUE(wc.contains(0x080));
+    EXPECT_TRUE(wc.contains(0x100));
+    EXPECT_TRUE(wc.contains(0x180));
+}
+
+TEST(WriteCache, VictimizesOldestWhenFull)
 {
     AddressMap amap(32, 4096, 16);
     WriteCache wc(amap, 4);
     WriteCacheFlush victim;
     EXPECT_FALSE(wc.writeWord(0x000, 7, victim));
-    // 4 frames * 32 bytes = 128; address 0x080 maps to frame 0 too.
-    EXPECT_TRUE(wc.writeWord(0x080, 9, victim));
+    EXPECT_FALSE(wc.writeWord(0x020, 8, victim));
+    EXPECT_FALSE(wc.writeWord(0x040, 9, victim));
+    EXPECT_FALSE(wc.writeWord(0x060, 10, victim));
+    // Combining into the oldest block must not refresh its FIFO
+    // position: 0x000 is still the next victim.
+    EXPECT_FALSE(wc.writeWord(0x004, 77, victim));
+    EXPECT_TRUE(wc.writeWord(0x080, 11, victim));
     EXPECT_EQ(victim.blockAddr, 0x000u);
     EXPECT_EQ(victim.words[0], 7u);
+    EXPECT_EQ(victim.words[1], 77u);
+    EXPECT_EQ(victim.dirtyWords(), 2u);
     EXPECT_EQ(wc.victimFlushes().value(), 1u);
     EXPECT_FALSE(wc.contains(0x000));
     EXPECT_TRUE(wc.contains(0x080));
+
+    // Next allocation displaces the next-oldest block, 0x020.
+    EXPECT_TRUE(wc.writeWord(0x0a0, 12, victim));
+    EXPECT_EQ(victim.blockAddr, 0x020u);
+}
+
+TEST(WriteCache, FlushAllReturnsInsertionOrder)
+{
+    AddressMap amap(32, 4096, 16);
+    WriteCache wc(amap, 4);
+    WriteCacheFlush victim;
+    wc.writeWord(0x100, 1, victim);
+    wc.writeWord(0x000, 2, victim);
+    wc.writeWord(0x180, 3, victim);
+    wc.writeWord(0x104, 4, victim);  // combines; keeps 0x100 oldest
+
+    auto flushed = wc.flushAll();
+    ASSERT_EQ(flushed.size(), 3u);
+    EXPECT_EQ(flushed[0].blockAddr, 0x100u);
+    EXPECT_EQ(flushed[1].blockAddr, 0x000u);
+    EXPECT_EQ(flushed[2].blockAddr, 0x180u);
+    EXPECT_EQ(wc.occupancy(), 0u);
 }
 
 TEST(WriteCache, DropRemovesEntry)

@@ -599,6 +599,21 @@ TEST(Prefetcher, ZeroDegreeStaysOffForRandomMisses)
     EXPECT_EQ(pf.degree(), 0u);
 }
 
+TEST(Prefetcher, MaxDegreeZeroNeverReenables)
+{
+    MachineParams params;
+    params.prefetchInitialDegree = 0;
+    params.prefetchMaxDegree = 0;  // clipped ladder is just {0}
+    Prefetcher pf(params);
+    ASSERT_EQ(pf.degree(), 0u);
+    // Sequential misses push the zero-degree re-enable counter past
+    // its modulo; with no rung above 0 the degree must stay 0 (this
+    // used to walk off the end of the ladder).
+    for (int i = 0; i < 64; ++i)
+        pf.notifyDemandMiss(0x1000 + 32 * i, true);
+    EXPECT_EQ(pf.degree(), 0u);
+}
+
 TEST(Prefetcher, MaxDegreeClipsTheLadder)
 {
     MachineParams params;

@@ -112,6 +112,63 @@ TEST(Stats, HistogramBucketsAndOverflow)
     EXPECT_EQ(h.overflowCount(), 2u);
 }
 
+TEST(Stats, AccumulatorMergeMatchesCombinedSampling)
+{
+    Accumulator a, b, ref;
+    for (double v : {4.0, 1.0})
+        a.sample(v), ref.sample(v);
+    for (double v : {9.0, 2.0, 5.0})
+        b.sample(v), ref.sample(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), ref.count());
+    EXPECT_DOUBLE_EQ(a.sum(), ref.sum());
+    EXPECT_DOUBLE_EQ(a.min(), ref.min());
+    EXPECT_DOUBLE_EQ(a.max(), ref.max());
+
+    Accumulator empty;
+    a.merge(empty);  // no-op
+    EXPECT_EQ(a.count(), ref.count());
+    empty.merge(a);  // copies
+    EXPECT_DOUBLE_EQ(empty.mean(), ref.mean());
+}
+
+TEST(Stats, HistogramMergeAddsBuckets)
+{
+    Histogram a(10, 4), b(10, 4);
+    a.sample(5);
+    a.sample(100);  // overflow
+    b.sample(5);
+    b.sample(25);
+    a.merge(b);
+    EXPECT_EQ(a.bucketCounts()[0], 2u);
+    EXPECT_EQ(a.bucketCounts()[2], 1u);
+    EXPECT_EQ(a.overflowCount(), 1u);
+    EXPECT_EQ(a.summary().count(), 4u);
+    EXPECT_DOUBLE_EQ(a.summary().max(), 100.0);
+}
+
+TEST(Stats, StatGroupDumpNeverTruncatesLongNames)
+{
+    // Regression: dump() used a 256-byte line buffer, silently
+    // truncating long group/stat names. Build a line far past that.
+    std::string group_name(300, 'g');
+    std::string stat_name(300, 's');
+    StatGroup group(group_name);
+    Counter c;
+    c += 42;
+    group.addCounter(stat_name, &c);
+    Accumulator acc;
+    acc.sample(1.5);
+    group.addAccumulator(stat_name + "2", &acc);
+
+    std::string out;
+    group.dump(out);
+    EXPECT_NE(out.find(group_name + "." + stat_name + " 42\n"),
+              std::string::npos);
+    EXPECT_NE(out.find(stat_name + "2 count=1 mean=1.5000"),
+              std::string::npos);
+}
+
 TEST(Rng, DeterministicForSameSeed)
 {
     Rng a(7), b(7), c(8);

@@ -77,4 +77,14 @@ else
 fi
 "$root/$prefix/tools/cpxbench" --perf-summary="$bench_json"
 stage_done "harness smoke sweep"
+
+# Flight-recorder smoke: one traced run must produce a Chrome trace
+# JSON that parses and keeps its async begin/end events balanced.
+echo "== traced smoke run (cpxsim --trace-out)"
+trace_json="$root/$prefix/TRACE_smoke.json"
+rm -f "$trace_json"
+"$root/$prefix/tools/cpxsim" --app=mp3d --protocol=P+CW+M \
+    --procs=8 --scale=0.1 --trace-out="$trace_json" >/dev/null
+"$root/$prefix/tools/cpxbench" --check-trace="$trace_json"
+stage_done "traced smoke run"
 echo "== CI green (total $(($(date +%s) - ci_start))s)"

@@ -27,6 +27,10 @@
  *                   simulated stat drifted from the committed
  *                   baseline file P; warn (not fail) if events/sec
  *                   regressed more than 20%
+ *   --check-trace=P validate a Chrome-trace-event JSON file written
+ *                   by cpxsim --trace-out (parseable, traceEvents
+ *                   present, async begin/end balanced) and exit;
+ *                   runs nothing
  *   --perf-summary=P  print the throughput fields (suite totals and
  *                   per-tag events/sec) of an existing results file
  *                   and exit; runs nothing
@@ -58,6 +62,7 @@ main(int argc, char **argv)
     std::vector<std::string> only;
     bool list_only = false;
     std::string check_json;
+    std::string check_trace;
     std::string baseline;
     std::string perf_summary;
 
@@ -92,6 +97,8 @@ main(int argc, char **argv)
             list_only = true;
         } else if (std::strncmp(arg, "--check-json=", 13) == 0) {
             check_json = arg + 13;
+        } else if (std::strncmp(arg, "--check-trace=", 14) == 0) {
+            check_trace = arg + 14;
         } else if (std::strncmp(arg, "--baseline=", 11) == 0) {
             baseline = arg + 11;
         } else if (std::strncmp(arg, "--perf-summary=", 15) == 0) {
@@ -109,6 +116,16 @@ main(int argc, char **argv)
             std::fprintf(stderr, "cpxbench: %s\n", error.c_str());
             return 1;
         }
+        return 0;
+    }
+
+    if (!check_trace.empty()) {
+        std::string error;
+        if (!validateTraceFile(check_trace, error)) {
+            std::fprintf(stderr, "cpxbench: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("%s: OK\n", check_trace.c_str());
         return 0;
     }
 

@@ -28,6 +28,12 @@
  *   --stats             dump all component statistics
  *   --trace=TAGS        comma-separated debug tags (SLC,Dir) to stderr
  *
+ * Flight recorder (see DESIGN.md §12):
+ *   --trace-out=PATH    record protocol events and write a Chrome
+ *                       trace-event JSON file (load in Perfetto)
+ *   --trace-buffer=N    per-node ring capacity in records
+ *                       (default 4096; oldest records overwritten)
+ *
  * Stress harness (see DESIGN.md "Stress harness"):
  *   --check             run the coherence invariant checker
  *                       (panics on the first violation)
@@ -53,6 +59,7 @@
 #include "check/watchdog.hh"
 #include "core/config.hh"
 #include "core/report.hh"
+#include "obs/trace.hh"
 #include "sim/parse.hh"
 #include "workloads/workload.hh"
 
@@ -90,6 +97,8 @@ main(int argc, char **argv)
     bool check = false;
     bool watchdog_enabled = false;
     Tick watchdog_interval = 100'000;
+    std::string trace_out;
+    std::size_t trace_buffer = TraceSink::defaultRingCapacity;
     MachineParams params;
 
     for (int i = 1; i < argc; ++i) {
@@ -149,6 +158,11 @@ main(int argc, char **argv)
         else if (const char *v = value("--watchdog=")) {
             watchdog_enabled = true;
             watchdog_interval = parseU64(v, "--watchdog");
+        } else if (const char *v = value("--trace-out=")) {
+            trace_out = v;
+        } else if (const char *v = value("--trace-buffer=")) {
+            trace_buffer =
+                parsePositiveUnsigned(v, "--trace-buffer");
         } else if (const char *v = value("--trace=")) {
             std::string tags = v;
             std::size_t pos = 0;
@@ -182,6 +196,16 @@ main(int argc, char **argv)
     params.applyConsistencyDefaults();
 
     System sys(params);
+
+    // The flight recorder observes the protocol layer without
+    // perturbing it: simulated stats are identical with it on or off.
+    std::unique_ptr<TraceSink> tracer;
+    if (!trace_out.empty()) {
+        tracer = std::make_unique<TraceSink>(sys.eq(), params.numProcs,
+                                             trace_buffer);
+        sys.setTracer(tracer.get());
+        tracer->installFailureDump();
+    }
 
     std::unique_ptr<CoherenceChecker> checker;
     if (check) {
@@ -230,6 +254,19 @@ main(int argc, char **argv)
                         checker->checksRun()),
                     static_cast<unsigned long long>(
                         checker->messagesObserved()));
+    }
+
+    if (tracer) {
+        std::string error;
+        if (!tracer->writeChromeTrace(trace_out, error))
+            fatal("--trace-out: %s", error.c_str());
+        std::printf("trace          %llu records (%llu overwritten) "
+                    "-> %s\n",
+                    static_cast<unsigned long long>(
+                        tracer->recorded()),
+                    static_cast<unsigned long long>(
+                        tracer->overwritten()),
+                    trace_out.c_str());
     }
 
     if (dump_stats) {
