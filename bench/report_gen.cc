@@ -1,0 +1,510 @@
+#include "bench/report_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace cpx::bench
+{
+
+namespace
+{
+
+/** printf into a growing std::string (two-pass, never truncates). */
+void
+append(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+append(std::string &out, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed > 0) {
+        std::size_t old = out.size();
+        out.resize(old + static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(&out[old], static_cast<std::size_t>(needed) + 1,
+                       fmt, args);
+        out.resize(old + static_cast<std::size_t>(needed));
+    }
+    va_end(args);
+}
+
+double
+numberOr(const JsonValue &obj, const char *key, double fallback)
+{
+    if (obj.kind == JsonValue::Kind::Object && obj.has(key) &&
+        obj.at(key).kind == JsonValue::Kind::Number)
+        return obj.at(key).number;
+    return fallback;
+}
+
+std::string
+textOr(const JsonValue &obj, const char *key, const char *fallback)
+{
+    if (obj.kind == JsonValue::Kind::Object && obj.has(key) &&
+        obj.at(key).kind == JsonValue::Kind::String)
+        return obj.at(key).text;
+    return fallback;
+}
+
+/** The five breakdown components, in paper bar order. */
+struct Decomposition
+{
+    double busy = 0, read = 0, write = 0, acquire = 0, release = 0;
+
+    double
+    total() const
+    {
+        return busy + read + write + acquire + release;
+    }
+};
+
+Decomposition
+decompositionOf(const JsonValue &point)
+{
+    Decomposition d;
+    if (!point.has("breakdown"))
+        return d;
+    const JsonValue &b = point.at("breakdown");
+    d.busy = numberOr(b, "busy", 0);
+    d.read = numberOr(b, "readStall", 0);
+    d.write = numberOr(b, "writeStall", 0);
+    d.acquire = numberOr(b, "acquireStall", 0);
+    d.release = numberOr(b, "releaseStall", 0);
+    return d;
+}
+
+/** Points that compare against the same BASIC bar. */
+struct GroupKey
+{
+    std::string app, consistency, network;
+    double procs = 0, scale = 0;
+
+    bool
+    operator==(const GroupKey &o) const
+    {
+        return app == o.app && consistency == o.consistency &&
+               network == o.network && procs == o.procs &&
+               scale == o.scale;
+    }
+};
+
+GroupKey
+keyOf(const JsonValue &point)
+{
+    GroupKey key;
+    key.app = textOr(point, "app", "?");
+    if (point.has("config")) {
+        const JsonValue &cfg = point.at("config");
+        key.consistency = textOr(cfg, "consistency", "?");
+        key.network = textOr(cfg, "network", "?");
+        key.procs = numberOr(cfg, "procs", 0);
+        key.scale = numberOr(cfg, "scale", 0);
+    }
+    return key;
+}
+
+// --- section 1: execution-time decomposition ------------------------------
+
+void
+renderDecomposition(const std::vector<JsonValue> &points,
+                    std::string &out)
+{
+    out += "## Execution time, normalized to BASIC = 100\n\n";
+
+    // Group points in first-appearance order; a vector scan keeps
+    // the grouping deterministic without ordering the key type.
+    std::vector<std::pair<GroupKey, std::vector<const JsonValue *>>>
+        groups;
+    for (const JsonValue &p : points) {
+        GroupKey key = keyOf(p);
+        auto it = std::find_if(groups.begin(), groups.end(),
+                               [&key](const auto &g) {
+            return g.first == key;
+        });
+        if (it == groups.end()) {
+            groups.push_back({key, {}});
+            it = groups.end() - 1;
+        }
+        it->second.push_back(&p);
+    }
+
+    bool rendered = false;
+    for (const auto &[key, members] : groups) {
+        // The normalization base: this group's BASIC point.
+        const JsonValue *basic = nullptr;
+        for (const JsonValue *p : members) {
+            if (p->has("config") &&
+                textOr(p->at("config"), "protocol", "") == "BASIC") {
+                basic = p;
+                break;
+            }
+        }
+        if (!basic || members.size() < 2)
+            continue;
+        double base_total = decompositionOf(*basic).total();
+        if (base_total <= 0)
+            continue;
+        rendered = true;
+
+        append(out, "### %s — %s / %s / %.0f procs (scale %g)\n\n",
+               key.app.c_str(), key.consistency.c_str(),
+               key.network.c_str(), key.procs, key.scale);
+        out += "| protocol | busy | read | write | acquire | "
+               "release | total |\n";
+        out += "|---|---:|---:|---:|---:|---:|---:|\n";
+        for (const JsonValue *p : members) {
+            Decomposition d = decompositionOf(*p);
+            double f = 100.0 / base_total;
+            append(out,
+                   "| %s | %.1f | %.1f | %.1f | %.1f | %.1f "
+                   "| %.1f |\n",
+                   p->has("config")
+                       ? textOr(p->at("config"), "protocol", "?")
+                             .c_str()
+                       : "?",
+                   d.busy * f, d.read * f, d.write * f, d.acquire * f,
+                   d.release * f, d.total() * f);
+        }
+        out += "\n";
+    }
+    if (!rendered)
+        out += "(no group carries both a BASIC point and an "
+               "extension point)\n\n";
+}
+
+// --- section 2: mesh link utilization -------------------------------------
+
+/** One column of a point's timeseries block, decoded. */
+struct SeriesView
+{
+    double interval = 0;
+    std::vector<std::string> names;
+    const JsonValue *deltas = nullptr;  //!< array of row arrays
+    const JsonValue *ticks = nullptr;
+
+    std::size_t
+    rows() const
+    {
+        return deltas ? deltas->items.size() : 0;
+    }
+
+    double
+    at(std::size_t row, std::size_t col) const
+    {
+        return deltas->items[row].items[col].number;
+    }
+};
+
+/** Decode a structurally valid timeseries block; false otherwise. */
+bool
+viewSeries(const JsonValue &point, SeriesView &view)
+{
+    if (!point.has("timeseries"))
+        return false;
+    const JsonValue &ts = point.at("timeseries");
+    if (ts.kind != JsonValue::Kind::Object || !ts.has("interval") ||
+        !ts.has("metrics") || !ts.has("deltas") || !ts.has("ticks"))
+        return false;
+    view.interval = numberOr(ts, "interval", 0);
+    if (view.interval <= 0)
+        return false;
+    view.names.clear();
+    for (const JsonValue &name : ts.at("metrics").items)
+        view.names.push_back(name.text);
+    view.deltas = &ts.at("deltas");
+    view.ticks = &ts.at("ticks");
+    if (view.deltas->items.size() != view.ticks->items.size())
+        return false;
+    for (const JsonValue &row : view.deltas->items)
+        if (row.items.size() != view.names.size())
+            return false;
+    return true;
+}
+
+std::string
+describeShort(const JsonValue &point)
+{
+    std::string label = textOr(point, "tag", "");
+    if (!label.empty())
+        label += " ";
+    label += textOr(point, "app", "?");
+    if (point.has("config")) {
+        label += " under " +
+                 textOr(point.at("config"), "protocol", "?") + "/" +
+                 textOr(point.at("config"), "network", "?");
+    }
+    return label;
+}
+
+void
+renderLinkUtilization(const std::vector<JsonValue> &points,
+                      std::size_t top_links, std::string &out)
+{
+    out += "## Mesh link utilization (peak vs mean)\n\n";
+
+    bool rendered = false;
+    for (const JsonValue &point : points) {
+        SeriesView view;
+        if (!viewSeries(point, view) || view.rows() == 0)
+            continue;
+
+        // Mesh links register one flit column per link; links are
+        // clocked at one flit per pclock, so delta-flits / interval
+        // is the utilization of that window.
+        struct Link
+        {
+            std::string name;   //!< "mesh.x0y0.east"
+            double mean = 0;    //!< whole-run utilization
+            double peak = 0;    //!< busiest full window
+            double peakTick = 0;
+            double waitTicks = 0;
+        };
+        std::vector<Link> links;
+        double last_tick =
+            view.ticks->items[view.rows() - 1].number;
+        for (std::size_t col = 0; col < view.names.size(); ++col) {
+            const std::string &name = view.names[col];
+            constexpr const char suffix[] = ".flits";
+            if (name.rfind("mesh.", 0) != 0 ||
+                name.size() < sizeof(suffix) ||
+                name.compare(name.size() - (sizeof(suffix) - 1),
+                             sizeof(suffix) - 1, suffix) != 0)
+                continue;
+            Link link;
+            link.name = name.substr(
+                0, name.size() - (sizeof(suffix) - 1));
+            double total = 0;
+            for (std::size_t row = 0; row < view.rows(); ++row) {
+                double delta = view.at(row, col);
+                total += delta;
+                // The last row usually covers a partial window;
+                // normalizing it by the full interval can only
+                // under-report, never inflate the peak.
+                double util = delta / view.interval;
+                if (util > link.peak) {
+                    link.peak = util;
+                    link.peakTick = view.ticks->items[row].number;
+                }
+            }
+            link.mean = last_tick > 0 ? total / last_tick : 0;
+            // The paired waitTicks column, if present, is the
+            // queueing-delay signal for the same link.
+            for (std::size_t w = 0; w < view.names.size(); ++w) {
+                if (view.names[w] == link.name + ".waitTicks") {
+                    for (std::size_t row = 0; row < view.rows();
+                         ++row)
+                        link.waitTicks += view.at(row, w);
+                    break;
+                }
+            }
+            if (total > 0)
+                links.push_back(std::move(link));
+        }
+        if (links.empty())
+            continue;
+        rendered = true;
+
+        std::sort(links.begin(), links.end(),
+                  [](const Link &a, const Link &b) {
+            if (a.peak != b.peak)
+                return a.peak > b.peak;
+            return a.name < b.name;  // deterministic tie-break
+        });
+        if (links.size() > top_links)
+            links.resize(top_links);
+
+        append(out, "### %s\n\n", describeShort(point).c_str());
+        out += "| link | mean util | peak util | peak at tick | "
+               "wait ticks |\n";
+        out += "|---|---:|---:|---:|---:|\n";
+        for (const Link &link : links) {
+            append(out,
+                   "| %s | %.1f%% | %.1f%% | %.0f | %.0f |\n",
+                   link.name.c_str(), 100.0 * link.mean,
+                   100.0 * link.peak, link.peakTick,
+                   link.waitTicks);
+        }
+        out += "\n";
+    }
+    if (!rendered)
+        out += "(no mesh point carries a timeseries block — run "
+               "with --sample-interval=N on a mesh target)\n\n";
+}
+
+// --- section 3: phase anomalies -------------------------------------------
+
+void
+renderAnomalies(const std::vector<JsonValue> &points,
+                std::size_t top_n, std::string &out)
+{
+    out += "## Phase anomalies (interval deviates >2σ from "
+           "run mean)\n\n";
+
+    struct Anomaly
+    {
+        double score = 0;       //!< |delta - mean| / sigma
+        std::size_t point = 0;  //!< point index (tie-break)
+        std::string metric;
+        double tick = 0;
+        double delta = 0;
+        double mean = 0;
+        std::string label;
+    };
+    std::vector<Anomaly> anomalies;
+
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+        SeriesView view;
+        if (!viewSeries(points[pi], view))
+            continue;
+        std::size_t rows = view.rows();
+        // With fewer than four windows a "deviation from the run
+        // mean" is noise, not phase behavior.
+        if (rows < 4)
+            continue;
+        for (std::size_t col = 0; col < view.names.size(); ++col) {
+            double sum = 0, sq = 0;
+            for (std::size_t row = 0; row < rows; ++row) {
+                double v = view.at(row, col);
+                sum += v;
+                sq += v * v;
+            }
+            double mean = sum / rows;
+            double variance = sq / rows - mean * mean;
+            if (variance <= 0)
+                continue;
+            double sigma = std::sqrt(variance);
+            for (std::size_t row = 0; row < rows; ++row) {
+                double v = view.at(row, col);
+                double score = std::fabs(v - mean) / sigma;
+                if (score <= 2.0)
+                    continue;
+                Anomaly a;
+                a.score = score;
+                a.point = pi;
+                a.metric = view.names[col];
+                a.tick = view.ticks->items[row].number;
+                a.delta = v;
+                a.mean = mean;
+                a.label = describeShort(points[pi]);
+                anomalies.push_back(std::move(a));
+            }
+        }
+    }
+
+    std::sort(anomalies.begin(), anomalies.end(),
+              [](const Anomaly &a, const Anomaly &b) {
+        if (a.score != b.score)
+            return a.score > b.score;
+        if (a.point != b.point)
+            return a.point < b.point;
+        if (a.metric != b.metric)
+            return a.metric < b.metric;
+        return a.tick < b.tick;
+    });
+    if (anomalies.size() > top_n)
+        anomalies.resize(top_n);
+
+    if (anomalies.empty()) {
+        out += "(none: no sampled metric left its ±2σ "
+               "band, or no point was sampled)\n\n";
+        return;
+    }
+    out += "| σ | point | metric | interval end | delta | "
+           "run mean |\n";
+    out += "|---:|---|---|---:|---:|---:|\n";
+    for (const Anomaly &a : anomalies) {
+        append(out,
+               "| %.1f | %s | %s | %.0f | %.0f | %.1f |\n",
+               a.score, a.label.c_str(), a.metric.c_str(), a.tick,
+               a.delta, a.mean);
+    }
+    out += "\n";
+}
+
+} // anonymous namespace
+
+bool
+generateReport(const JsonValue &doc, const ReportOptions &opts,
+               std::string &out, std::string &error)
+{
+    if (doc.kind != JsonValue::Kind::Object || !doc.has("schema") ||
+        doc.at("schema").text != "cpx-sweep-1") {
+        error = "missing cpx-sweep-1 schema marker";
+        return false;
+    }
+    if (!doc.has("points") ||
+        doc.at("points").kind != JsonValue::Kind::Array ||
+        doc.at("points").items.empty()) {
+        error = "no sweep points recorded";
+        return false;
+    }
+    const std::vector<JsonValue> &points = doc.at("points").items;
+
+    out.clear();
+    append(out, "# cpx sweep report\n\n");
+    append(out, "- suite: %s\n",
+           textOr(doc, "suite", "?").c_str());
+    append(out, "- points: %zu\n", points.size());
+    append(out, "- scale: %g, procs: %.0f\n",
+           numberOr(doc, "scale", 0), numberOr(doc, "procs", 0));
+    append(out, "\n");
+
+    renderDecomposition(points, out);
+    renderLinkUtilization(points, opts.topLinks, out);
+    renderAnomalies(points, opts.topAnomalies, out);
+    return true;
+}
+
+bool
+generateReportFile(const std::string &json_path,
+                   const ReportOptions &opts,
+                   const std::string &out_path, std::string &error)
+{
+    std::ifstream file(json_path, std::ios::binary);
+    if (!file) {
+        error = "cannot open '" + json_path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+
+    JsonValue doc;
+    if (!parseJson(text.str(), doc, error)) {
+        error = json_path + ": " + error;
+        return false;
+    }
+
+    std::string report;
+    if (!generateReport(doc, opts, report, error)) {
+        error = json_path + ": " + error;
+        return false;
+    }
+
+    if (out_path.empty()) {
+        std::fputs(report.c_str(), stdout);
+        return true;
+    }
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        error = "cannot write '" + out_path + "'";
+        return false;
+    }
+    out << report;
+    if (!out.flush()) {
+        error = "short write to '" + out_path + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace cpx::bench

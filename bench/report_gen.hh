@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Markdown report generation from cpx-sweep-1 JSON documents.
+ *
+ * tools/cpxreport is a thin wrapper around this: load a sweep results
+ * file (as written by cpxbench/standalone bench binaries), render a
+ * human-readable markdown report, write it to stdout or a file. The
+ * generator lives in the bench library so tests can drive it
+ * directly and CI can golden-file its output.
+ *
+ * Sections (DESIGN.md §13):
+ *  1. per-application execution-time decomposition tables normalized
+ *     to BASIC = 100 — the shape of the paper's Figures 2/3;
+ *  2. per-link mesh utilization (peak vs mean) for mesh points that
+ *     carry a "timeseries" block;
+ *  3. top-N phase anomalies: intervals where a sampled metric
+ *     deviates more than 2σ from its run mean.
+ *
+ * Output is deterministic: document order drives grouping, and every
+ * ranking breaks ties on (point index, metric name, interval row).
+ */
+
+#ifndef CPX_BENCH_REPORT_GEN_HH
+#define CPX_BENCH_REPORT_GEN_HH
+
+#include <cstddef>
+#include <string>
+
+#include "bench/runner.hh"
+
+namespace cpx::bench
+{
+
+struct ReportOptions
+{
+    std::size_t topAnomalies = 10;  //!< rows in the anomaly table
+    std::size_t topLinks = 10;      //!< rows per link-utilization table
+};
+
+/**
+ * Render the markdown report for a parsed cpx-sweep-1 document.
+ * Returns false (and fills @p error) if the document lacks the
+ * schema marker or a points array; structural oddities inside
+ * individual points degrade to omitted sections, not failures.
+ */
+bool generateReport(const JsonValue &doc, const ReportOptions &opts,
+                    std::string &out, std::string &error);
+
+/**
+ * Load @p json_path, generate, and write to @p out_path (empty =
+ * stdout). Returns false and fills @p error on unreadable input,
+ * invalid schema, or an unwritable output path.
+ */
+bool generateReportFile(const std::string &json_path,
+                        const ReportOptions &opts,
+                        const std::string &out_path,
+                        std::string &error);
+
+} // namespace cpx::bench
+
+#endif // CPX_BENCH_REPORT_GEN_HH

@@ -8,8 +8,11 @@
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <thread>
+
+#include <unistd.h>
 
 #include "sim/parse.hh"
 
@@ -47,9 +50,13 @@ parseOptions(int argc, char **argv)
             opts.seed = parseU64(arg + 7, "--seed");
         else if (std::strncmp(arg, "--json=", 7) == 0)
             opts.jsonPath = arg + 7;
+        else if (std::strncmp(arg, "--sample-interval=", 18) == 0)
+            opts.sampleInterval =
+                parseU64(arg + 18, "--sample-interval");
         else
             fatal("unknown option '%s' (use --scale=F --procs=N "
-                  "--jobs=N --seed=N --json=PATH)",
+                  "--jobs=N --seed=N --json=PATH "
+                  "--sample-interval=N)",
                   arg);
     }
     return opts;
@@ -95,6 +102,37 @@ SweepRunner::runAll()
     std::vector<SweepResult> batch(queued.size());
     std::atomic<std::size_t> next{0};
 
+    auto wall_start = std::chrono::steady_clock::now();
+
+    // Per-point completion reporting: a live one-line ticker on a
+    // terminal, one plain line per point otherwise (CI logs). Both
+    // show running events/sec and an ETA extrapolated from the mean
+    // host cost of the points completed so far — coarse under a
+    // heterogeneous grid, but it replaces a silent multi-minute gap.
+    const bool tty = isatty(fileno(stderr)) != 0;
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+    std::uint64_t events_done = 0;
+    auto report_progress = [&](const SweepResult &r) {
+        std::lock_guard<std::mutex> hold(progress_mutex);
+        ++completed;
+        events_done += r.run.stats.eventsExecuted;
+        std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - wall_start;
+        double secs = elapsed.count();
+        double rate = secs > 0 ? events_done / secs : 0.0;
+        double eta = completed ? secs / completed *
+                                     (queued.size() - completed)
+                               : 0.0;
+        std::fprintf(stderr,
+                     "%s[%zu/%zu] %s %s | %.3g Mev/s | ETA %.0fs%s",
+                     tty ? "\r\033[K" : "", completed, queued.size(),
+                     r.point.tag.empty() ? "point"
+                                         : r.point.tag.c_str(),
+                     r.point.app.c_str(), rate / 1e6, eta,
+                     tty && completed != queued.size() ? "" : "\n");
+    };
+
     auto worker = [&]() {
         for (;;) {
             std::size_t i = next.fetch_add(1);
@@ -104,11 +142,13 @@ SweepRunner::runAll()
             auto start = std::chrono::steady_clock::now();
             System sys(point.params);
             auto w = makeWorkload(point.app, point.scale, point.seed);
-            WorkloadRun run = runWorkload(sys, *w);
+            WorkloadRun run =
+                runWorkload(sys, *w, maxTick, opts.sampleInterval);
             std::chrono::duration<double> elapsed =
                 std::chrono::steady_clock::now() - start;
             batch[i] = SweepResult{point, std::move(run),
                                    elapsed.count()};
+            report_progress(batch[i]);
         }
     };
 
@@ -116,8 +156,6 @@ SweepRunner::runAll()
     if (jobs == 0)
         jobs = std::max(1u, std::thread::hardware_concurrency());
     jobs = std::min<std::size_t>(jobs, queued.size());
-
-    auto wall_start = std::chrono::steady_clock::now();
     if (jobs <= 1) {
         worker();
     } else {
@@ -319,6 +357,12 @@ writeJson(const std::string &path, const std::string &suite,
                 << "\"mean\": " << jsonNumber(a.mean()) << ", "
                 << "\"min\": " << jsonNumber(a.min()) << ", "
                 << "\"max\": " << jsonNumber(a.max()) << ", "
+                << "\"p50\": " << jsonNumber(h.percentile(0.50))
+                << ", "
+                << "\"p90\": " << jsonNumber(h.percentile(0.90))
+                << ", "
+                << "\"p99\": " << jsonNumber(h.percentile(0.99))
+                << ", "
                 << "\"bucketWidth\": "
                 << jsonNumber(h.bucketWidth()) << ", "
                 << "\"overflow\": "
@@ -338,6 +382,35 @@ writeJson(const std::string &path, const std::string &suite,
         hist("readMiss", s.readMissLatency, ", ");
         hist("ownership", s.ownershipLatency, ", ");
         hist("prefetchFill", s.prefetchFillLatency, "},\n");
+        // Optional: interval-sampled series (--sample-interval > 0).
+        // Deltas are row-major, one inner array per sampled window;
+        // columns follow "metrics" order (DESIGN.md §13).
+        if (!s.timeseries.empty()) {
+            const MetricTimeSeries &ts = s.timeseries;
+            out << "      \"timeseries\": {\n";
+            out << "        \"interval\": "
+                << jsonNumber(static_cast<std::uint64_t>(ts.interval))
+                << ",\n";
+            out << "        \"metrics\": [";
+            for (std::size_t m = 0; m < ts.names.size(); ++m)
+                out << (m ? ", " : "") << str(ts.names[m]);
+            out << "],\n";
+            out << "        \"ticks\": [";
+            for (std::size_t row = 0; row < ts.ticks.size(); ++row)
+                out << (row ? ", " : "")
+                    << jsonNumber(
+                           static_cast<std::uint64_t>(ts.ticks[row]));
+            out << "],\n";
+            out << "        \"deltas\": [";
+            for (std::size_t row = 0; row < ts.rows(); ++row) {
+                out << (row ? ",\n          [" : "\n          [");
+                for (std::size_t m = 0; m < ts.names.size(); ++m)
+                    out << (m ? ", " : "")
+                        << jsonNumber(ts.at(row, m));
+                out << "]";
+            }
+            out << "\n        ]\n      },\n";
+        }
         out << "      \"kernel\": {"
             << "\"eventsExecuted\": " << jsonNumber(s.eventsExecuted)
             << ", "
@@ -645,6 +718,45 @@ validateResultsFile(const std::string &path, std::string &error)
                     "' app=" + point.at("app").text;
             return false;
         }
+        // The timeseries block is optional (only sampled runs carry
+        // it), but when present it must be structurally sound: a
+        // positive interval, named columns, and a rectangular deltas
+        // matrix with one end tick per row.
+        if (point.has("timeseries")) {
+            const JsonValue &ts = point.at("timeseries");
+            if (ts.kind != JsonValue::Kind::Object ||
+                !ts.has("interval") || !ts.has("metrics") ||
+                !ts.has("ticks") || !ts.has("deltas")) {
+                error = path + ": malformed timeseries block";
+                return false;
+            }
+            if (ts.at("interval").number <= 0) {
+                error = path + ": timeseries interval must be > 0";
+                return false;
+            }
+            const auto &metrics = ts.at("metrics").items;
+            const auto &ticks = ts.at("ticks").items;
+            const auto &deltas = ts.at("deltas").items;
+            if (ts.at("metrics").kind != JsonValue::Kind::Array ||
+                metrics.empty()) {
+                error = path + ": timeseries has no metrics";
+                return false;
+            }
+            if (deltas.size() != ticks.size()) {
+                error = path + ": timeseries has " +
+                        std::to_string(deltas.size()) +
+                        " delta rows but " +
+                        std::to_string(ticks.size()) + " ticks";
+                return false;
+            }
+            for (const JsonValue &row : deltas) {
+                if (row.kind != JsonValue::Kind::Array ||
+                    row.items.size() != metrics.size()) {
+                    error = path + ": ragged timeseries delta row";
+                    return false;
+                }
+            }
+        }
     }
     return true;
 }
@@ -822,7 +934,7 @@ compareToBaseline(const std::string &path,
     static const char *const gated[] = {
         "tag",      "app",    "config",  "verified",
         "execTime", "breakdown", "misses", "traffic",
-        "protocolEvents", "latency",
+        "protocolEvents", "latency", "timeseries",
     };
     for (std::size_t i = 0; i < cur_pts.size(); ++i) {
         const JsonValue &c = cur_pts[i];

@@ -48,11 +48,13 @@ struct Options
     unsigned jobs = 0;        //!< host threads; 0 = hardware_concurrency
     std::uint64_t seed = 1;   //!< workload seed (seeded workloads only)
     std::string jsonPath;     //!< --json=PATH; empty = no JSON output
+    Tick sampleInterval = 0;  //!< interval-metrics period; 0 = off
 };
 
 /**
  * Parse the options every bench binary accepts:
  *   --scale=F --procs=N --jobs=N --seed=N --json=PATH
+ *   --sample-interval=N
  * (CPX_SCALE in the environment seeds the default scale.)
  * Numbers are checked: malformed values, trailing garbage and zero
  * procs/jobs are fatal.

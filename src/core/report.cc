@@ -157,9 +157,10 @@ formatSystemStats(System &sys)
         auto hist = [&](const char *what, const Histogram &h) {
             const Accumulator &s = h.summary();
             emit("node%u.latency.%s count=%llu mean=%.1f min=%.0f "
-                 "max=%.0f overflow=%llu\n",
+                 "max=%.0f p50=%.1f p90=%.1f p99=%.1f overflow=%llu\n",
                  n, what, ull(s.count()), s.mean(), s.min(), s.max(),
-                 ull(h.overflowCount()));
+                 h.percentile(0.50), h.percentile(0.90),
+                 h.percentile(0.99), ull(h.overflowCount()));
         };
         hist("readMiss", slc.readMissLatencyHist());
         hist("ownership", slc.ownershipLatencyHist());

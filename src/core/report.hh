@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/system.hh"
+#include "obs/metrics.hh"
 
 namespace cpx
 {
@@ -75,6 +76,13 @@ struct RunResult
     std::uint64_t eventsExecuted = 0;   //!< events the kernel dispatched
     std::uint64_t peakPendingEvents = 0; //!< high-water mark of the queue
     std::uint64_t scheduleAllocs = 0;   //!< schedule() calls that hit the heap
+
+    /**
+     * Interval-sampled metric deltas (empty unless the run sampled,
+     * --sample-interval > 0). Rides along so one RunResult carries
+     * everything the JSON writer and cpxreport need per point.
+     */
+    MetricTimeSeries timeseries;
 
     /** Cold miss rate in percent of shared accesses (Table 2). */
     double

@@ -1,9 +1,11 @@
 #include "core/system.hh"
 
 #include <cstdio>
+#include <string>
 
 #include "core/diagnostics.hh"
 #include "net/chaos_network.hh"
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace cpx
@@ -52,6 +54,32 @@ System::System(const MachineParams &machine_params)
     nodes.reserve(params_.numProcs);
     for (NodeId n = 0; n < params_.numProcs; ++n)
         nodes.push_back(std::make_unique<Node>(n, *this));
+}
+
+void
+System::registerMetrics(MetricRegistry &registry) const
+{
+    for (NodeId n = 0; n < params_.numProcs; ++n) {
+        std::string prefix = "node" + std::to_string(n);
+        nodes[n]->proc.registerMetrics(registry, prefix);
+        nodes[n]->slc.registerMetrics(registry, prefix);
+    }
+    if (meshPtr)
+        meshPtr->registerMetrics(registry);
+    const Network *net_model = network.get();
+    registry.add("net.messages",
+                 [net_model] { return net_model->totalMessages(); });
+    registry.add("net.bytes",
+                 [net_model] { return net_model->totalBytes(); });
+}
+
+bool
+System::allProcessorsFinished() const
+{
+    for (const auto &n : nodes)
+        if (!n->proc.finished())
+            return false;
+    return true;
 }
 
 Tick

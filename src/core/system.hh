@@ -52,6 +52,21 @@ class System : public Fabric
     /** The mesh model, or nullptr when the uniform network is used. */
     MeshNetwork *mesh() { return meshPtr; }
 
+    /**
+     * Register every interval metric of the machine — per-node
+     * breakdown and protocol counters, per-link mesh traffic, network
+     * totals — in deterministic build order (nodes ascending, then
+     * mesh links, then totals). See DESIGN.md §13.
+     */
+    void registerMetrics(MetricRegistry &registry) const;
+
+    /**
+     * @return true iff every processor's workload body has returned.
+     * The interval sampler's stop predicate: once this holds, only
+     * bookkeeping events remain and sampling would record nothing.
+     */
+    bool allProcessorsFinished() const;
+
     // --- execution ---------------------------------------------------------
     /**
      * Run @p body on every processor (as the parallel section) until

@@ -66,7 +66,9 @@ WriteCache::writeWord(Addr addr, std::uint32_t value,
         evicted = WriteCacheFlush{target->blockAddr, target->dirtyMask,
                                   target->words};
         ++victims;
+        ++flushed;
     }
+    ++inserts;
     target->valid = true;
     target->blockAddr = blk;
     target->dirtyMask = bit;
@@ -114,6 +116,7 @@ WriteCache::flushAll()
             WriteCacheFlush{f->blockAddr, f->dirtyMask, f->words});
         f->valid = false;
         f->dirtyMask = 0;
+        ++flushed;
     }
     return out;
 }

@@ -91,6 +91,10 @@ class WriteCache
     const Counter &combinedWrites() const { return combined; }
     /** Blocks flushed because a newer write displaced them. */
     const Counter &victimFlushes() const { return victims; }
+    /** Writes that allocated a fresh block record. */
+    const Counter &insertCount() const { return inserts; }
+    /** Records flushed out, by eviction or release (flushAll). */
+    const Counter &flushCount() const { return flushed; }
 
   private:
     struct Frame
@@ -111,6 +115,8 @@ class WriteCache
     std::uint64_t nextSeq = 0;
     Counter combined;
     Counter victims;
+    Counter inserts;
+    Counter flushed;
 };
 
 } // namespace cpx

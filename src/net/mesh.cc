@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace cpx
@@ -22,14 +24,47 @@ MeshNetwork::MeshNetwork(EventQueue &event_queue, unsigned num_nodes,
         std::ceil(std::sqrt(static_cast<double>(num_nodes))));
     rowCount = (num_nodes + cols - 1) / cols;
 
-    linkFreeAt.assign(
-        static_cast<std::size_t>(cols) * rowCount * numDirections, 0);
+    std::size_t num_links =
+        static_cast<std::size_t>(cols) * rowCount * numDirections;
+    linkFreeAt.assign(num_links, 0);
+    linkFlits.assign(num_links, 0);
+    linkWait.assign(num_links, 0);
 }
 
 unsigned
 MeshNetwork::linkIndex(unsigned x, unsigned y, Direction d) const
 {
     return (y * cols + x) * numDirections + d;
+}
+
+void
+MeshNetwork::registerMetrics(MetricRegistry &registry) const
+{
+    // Register every in-grid link (boundary-leaving directions carry
+    // no traffic and are skipped). XY routing can cross router
+    // positions beyond the last node of a non-square grid, so links
+    // are keyed by grid coordinates, not node ids.
+    static const char *const dirName[numDirections] = {
+        "east", "west", "north", "south"};
+    for (unsigned y = 0; y < rowCount; ++y) {
+        for (unsigned x = 0; x < cols; ++x) {
+            for (unsigned d = 0; d < numDirections; ++d) {
+                if ((d == east && x + 1 >= cols) ||
+                    (d == west && x == 0) ||
+                    (d == south && y + 1 >= rowCount) ||
+                    (d == north && y == 0)) {
+                    continue;
+                }
+                unsigned idx =
+                    linkIndex(x, y, static_cast<Direction>(d));
+                std::string base = "mesh.x" + std::to_string(x) +
+                                   "y" + std::to_string(y) + "." +
+                                   dirName[d];
+                registry.addValue(base + ".flits", linkFlits[idx]);
+                registry.addValue(base + ".waitTicks", linkWait[idx]);
+            }
+        }
+    }
 }
 
 unsigned
@@ -66,6 +101,10 @@ MeshNetwork::route(NodeId src, NodeId dst, unsigned total_bytes)
         while (coord != target) {
             unsigned idx = linkIndex(x, y, d);
             Tick start = std::max(head, linkFreeAt[idx]);
+            // Head-flit queueing delay: how long this link's earlier
+            // traffic held the head up beyond its pipeline arrival.
+            linkWait[idx] += start - head;
+            linkFlits[idx] += msg_flits;
             // The link is busy until the tail flit has crossed.
             linkFreeAt[idx] = start + msg_flits;
             // The head reaches the next router after the two hop

@@ -29,6 +29,8 @@
 namespace cpx
 {
 
+class MetricRegistry;
+
 class MeshNetwork : public Network
 {
   public:
@@ -50,6 +52,24 @@ class MeshNetwork : public Network
     /** Hops traversed by an src→dst message (Manhattan distance). */
     unsigned hopCount(NodeId src, NodeId dst) const;
 
+    /**
+     * Register one `mesh.xXyY.DIR.flits` and `.waitTicks` metric per
+     * in-grid unidirectional link (interval metrics, DESIGN.md §13).
+     * Links are clocked at one flit per pclock, so a link's flit
+     * count doubles as its busy-tick count: delta-flits over an
+     * interval is the link's utilization numerator. waitTicks
+     * accumulates head-flit queueing delay — the contention signal.
+     */
+    void registerMetrics(MetricRegistry &registry) const;
+
+    /** Flits that crossed one link (test/report hook). */
+    std::uint64_t
+    linkFlitCount(unsigned x, unsigned y, unsigned direction) const
+    {
+        return linkFlits[linkIndex(x, y,
+                                   static_cast<Direction>(direction))];
+    }
+
   protected:
     Tick route(NodeId src, NodeId dst, unsigned total_bytes) override;
 
@@ -66,6 +86,12 @@ class MeshNetwork : public Network
     unsigned rowCount;
     unsigned linkBits;
     std::vector<Tick> linkFreeAt;
+    //! Per-link cumulative flits (== busy ticks at 1 flit/pclock) and
+    //! head-flit wait ticks; same indexing as linkFreeAt. Never
+    //! resized after construction, so MetricRegistry may hold
+    //! references to individual elements.
+    std::vector<std::uint64_t> linkFlits;
+    std::vector<std::uint64_t> linkWait;
     Counter flits;
 };
 

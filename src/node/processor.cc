@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/metrics.hh"
 #include "proto/lock_manager.hh"
 #include "proto/messenger.hh"
 #include "sim/logging.hh"
@@ -14,6 +15,19 @@ Processor::Processor(NodeId node, Fabric &f, SlcController &slc_ref,
     : self(node), fabric(f), params(f.params()), slc(slc_ref),
       flc(flc_ref)
 {
+}
+
+void
+Processor::registerMetrics(MetricRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.addValue(prefix + ".busy", breakdown.busy);
+    registry.addValue(prefix + ".readStall", breakdown.readStall);
+    registry.addValue(prefix + ".writeStall", breakdown.writeStall);
+    registry.addValue(prefix + ".acquireStall",
+                      breakdown.acquireStall);
+    registry.addValue(prefix + ".releaseStall",
+                      breakdown.releaseStall);
 }
 
 // --------------------------------------------------------------------------

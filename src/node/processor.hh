@@ -29,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "fiber/fiber.hh"
 #include "mem/flc.hh"
@@ -38,6 +39,8 @@
 
 namespace cpx
 {
+
+class MetricRegistry;
 
 class Processor : public ProcessorIface
 {
@@ -116,6 +119,16 @@ class Processor : public ProcessorIface
     };
 
     const TimeBreakdown &times() const { return breakdown; }
+
+    /**
+     * Register the execution-time decomposition components as
+     * interval metrics under @p prefix (e.g. "node3"), so phase
+     * reports can show per-interval stall composition (DESIGN.md
+     * §13).
+     */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
     std::uint64_t sharedReads() const { return statReads.value(); }
     std::uint64_t sharedWrites() const { return statWrites.value(); }
     std::uint64_t sharedAccesses() const {

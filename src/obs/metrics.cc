@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Interval metrics implementation (see metrics.hh).
+ */
+
+#include "obs/metrics.hh"
+
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+void
+MetricRegistry::add(std::string name, Fetch fetch)
+{
+    entries.push_back({std::move(name), std::move(fetch)});
+}
+
+void
+MetricRegistry::addCounter(std::string name, const Counter &counter)
+{
+    add(std::move(name), [&counter] { return counter.value(); });
+}
+
+void
+MetricRegistry::addValue(std::string name, const std::uint64_t &value)
+{
+    add(std::move(name), [&value] { return value; });
+}
+
+void
+MetricRegistry::snapshot(std::vector<std::uint64_t> &out) const
+{
+    out.resize(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        out[i] = entries[i].fetch();
+}
+
+IntervalSampler::IntervalSampler(EventQueue &event_queue,
+                                 const MetricRegistry &reg,
+                                 Tick interval)
+    : eq(event_queue), registry(reg)
+{
+    if (interval == 0)
+        panic("IntervalSampler: interval must be > 0");
+    series.interval = interval;
+    series.names.reserve(registry.size());
+    for (std::size_t i = 0; i < registry.size(); ++i)
+        series.names.push_back(registry.name(i));
+}
+
+void
+IntervalSampler::start(std::function<bool()> done)
+{
+    if (started)
+        panic("IntervalSampler: start() called twice");
+    started = true;
+    registry.snapshot(prev);
+    eq.scheduleEvery(series.interval, [this, done = std::move(done)] {
+        sampleRow();
+        return !done();
+    });
+}
+
+void
+IntervalSampler::sampleRow()
+{
+    registry.snapshot(cur);
+    series.ticks.push_back(eq.now());
+    for (std::size_t i = 0; i < cur.size(); ++i)
+        series.deltas.push_back(cur[i] - prev[i]);
+    prev.swap(cur);
+}
+
+MetricTimeSeries
+IntervalSampler::takeSeries()
+{
+    return std::move(series);
+}
+
+} // namespace cpx

@@ -1,6 +1,7 @@
 #include "proto/slc.hh"
 
 #include "mem/backing_store.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "proto/directory.hh"
 #include "proto/messenger.hh"
@@ -205,6 +206,32 @@ SlcController::totalReadMisses() const
            readMissKind[2].value();
 }
 
+void
+SlcController::registerMetrics(MetricRegistry &registry,
+                               const std::string &prefix) const
+{
+    static const char *const missName[3] = {"cold", "coherence",
+                                            "replacement"};
+    for (unsigned k = 0; k < 3; ++k) {
+        registry.addCounter(prefix + ".readMiss." + missName[k],
+                            readMissKind[k]);
+        registry.addCounter(prefix + ".writeMiss." + missName[k],
+                            writeMissKind[k]);
+    }
+    registry.add(prefix + ".prefetch.issued",
+                 [this] { return prefetcher.issued(); });
+    registry.add(prefix + ".prefetch.useful",
+                 [this] { return prefetcher.useful(); });
+    registry.addCounter(prefix + ".prefetch.dropped",
+                        statPrefetchDrops);
+    registry.addCounter(prefix + ".writeCache.inserts",
+                        writeCache.insertCount());
+    registry.addCounter(prefix + ".writeCache.combines",
+                        writeCache.combinedWrites());
+    registry.addCounter(prefix + ".writeCache.flushes",
+                        writeCache.flushCount());
+}
+
 // --------------------------------------------------------------------------
 // Value resolution (data-carrying functional model)
 // --------------------------------------------------------------------------
@@ -338,6 +365,7 @@ SlcController::issuePrefetches(Addr demand_block)
             continue;
         if (slwbUsed >= params.slwbEntries) {
             // No SLWB room: drop this and all remaining prefetches.
+            ++statPrefetchDrops;
             CPX_RECORD(fabric.tracer(), self, TraceKind::PrefetchDrop,
                        pblock);
             break;
@@ -620,6 +648,7 @@ SlcController::softwarePrefetch(Addr a, bool exclusive)
             (writeCache.contains(a) || pendingFlushes.count(block)))
             return;
         if (slwbUsed >= params.slwbEntries) {
+            ++statPrefetchDrops;
             CPX_RECORD(fabric.tracer(), self, TraceKind::PrefetchDrop,
                        block);
             return;  // prefetches are droppable

@@ -34,6 +34,7 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -51,6 +52,8 @@
 
 namespace cpx
 {
+
+class MetricRegistry;
 
 class SlcController
 {
@@ -227,7 +230,19 @@ class SlcController
     std::uint64_t softwarePrefetches() const {
         return statSwPrefetches.value();
     }
+    /** Prefetches dropped for lack of an SLWB slot (hw or sw). */
+    std::uint64_t prefetchDrops() const {
+        return statPrefetchDrops.value();
+    }
     const Accumulator &readMissLatency() const { return missLatency; }
+
+    /**
+     * Register this controller's interval metrics (miss classes,
+     * prefetch outcomes, write-cache activity) under @p prefix
+     * (e.g. "node3"). See DESIGN.md §13.
+     */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
 
     /** Bucket geometry of the per-transaction latency histograms,
      *  shared with RunResult so per-node merges line up. */
@@ -353,6 +368,7 @@ class SlcController
     Counter statCounterInvals;
     Counter statUpdatesReceived;
     Counter statSwPrefetches;
+    Counter statPrefetchDrops;
     Accumulator missLatency;
     Histogram latReadMiss{latencyBucketWidth, latencyBucketCount};
     Histogram latOwnership{latencyBucketWidth, latencyBucketCount};

@@ -243,6 +243,31 @@ EventQueue::schedule(Tick when, Callback cb)
     return EventId{e, e->gen};
 }
 
+void
+EventQueue::scheduleEvery(Tick period, std::function<bool()> body)
+{
+    if (period == 0)
+        panic("scheduleEvery: period must be > 0");
+    // The shared_ptr keeps the (possibly large) body off the inline
+    // callback buffer; each firing re-arms with the same handle, so
+    // the repeat costs one pooled event node per period.
+    struct Repeat
+    {
+        static void
+        arm(EventQueue &eq, Tick period,
+            std::shared_ptr<std::function<bool()>> body)
+        {
+            eq.scheduleIn(period, [&eq, period, body] {
+                if ((*body)())
+                    arm(eq, period, body);
+            });
+        }
+    };
+    Repeat::arm(*this, period,
+                std::make_shared<std::function<bool()>>(
+                    std::move(body)));
+}
+
 bool
 EventQueue::cancel(EventId id)
 {

@@ -21,6 +21,7 @@
 #define CPX_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -75,6 +76,16 @@ class EventQueue
     EventId scheduleIn(Tick delay, Callback cb) {
         return schedule(now_ + delay, std::move(cb));
     }
+
+    /**
+     * Schedule @p body to run every @p period ticks, starting
+     * @p period ticks from now, until it returns false. The repeat
+     * unschedules itself on a false return, so a bounded body (e.g.
+     * the interval sampler, which stops when the processors finish)
+     * never keeps run() from draining the queue.
+     * @pre period > 0
+     */
+    void scheduleEvery(Tick period, std::function<bool()> body);
 
     /**
      * Cancel a pending event. The callback is dropped without

@@ -13,7 +13,6 @@
 #define CPX_SIM_STATS_HH
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -121,19 +120,21 @@ class Histogram
     const Accumulator &summary() const { return acc; }
 
     /**
-     * Fold @p other in (per-node → system aggregation).
-     * @pre identical bucket geometry
+     * Estimate the @p p quantile (0 < p <= 1) from the bucket counts:
+     * linear interpolation inside the bucket holding the rank,
+     * clamped to the exact observed [min, max]; ranks landing in the
+     * overflow bucket report the observed max (the bucketed data
+     * cannot resolve the tail beyond it). Returns 0 when empty.
      */
-    void
-    merge(const Histogram &other)
-    {
-        assert(width == other.width &&
-               buckets.size() == other.buckets.size());
-        for (std::size_t i = 0; i < buckets.size(); ++i)
-            buckets[i] += other.buckets[i];
-        overflow += other.overflow;
-        acc.merge(other.acc);
-    }
+    double percentile(double p) const;
+
+    /**
+     * Fold @p other in (per-node → system aggregation). Mismatched
+     * bucket geometry is a hard error in every build type: a silent
+     * bucket-by-bucket add of differently-scaled histograms would
+     * corrupt percentiles undetectably in release builds.
+     */
+    void merge(const Histogram &other);
 
     void
     reset()

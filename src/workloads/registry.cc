@@ -7,9 +7,24 @@ namespace cpx
 {
 
 WorkloadRun
-runWorkload(System &sys, Workload &w, Tick limit)
+runWorkload(System &sys, Workload &w, Tick limit, Tick sample_interval)
 {
     w.setup(sys);
+
+    // Arm the interval sampler before the event loop starts so the
+    // first window begins at tick 0. The registry and sampler live
+    // on this frame: both are only read by the sampler event, which
+    // stops itself once every processor has finished.
+    MetricRegistry registry;
+    std::unique_ptr<IntervalSampler> sampler;
+    if (sample_interval > 0) {
+        sys.registerMetrics(registry);
+        sampler = std::make_unique<IntervalSampler>(
+            sys.eq(), registry, sample_interval);
+        sampler->start(
+            [&sys] { return sys.allProcessorsFinished(); });
+    }
+
     Tick exec_time = sys.run(
         [&w](Processor &p, unsigned id) { w.parallel(p, id); },
         limit);
@@ -19,6 +34,8 @@ runWorkload(System &sys, Workload &w, Tick limit)
     result.execTime = exec_time;
     result.verified = w.verify(sys);
     result.stats = collectStats(sys, exec_time);
+    if (sampler)
+        result.stats.timeseries = sampler->takeSeries();
     return result;
 }
 

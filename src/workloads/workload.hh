@@ -50,8 +50,15 @@ struct WorkloadRun
 /**
  * Run @p w on @p sys: setup, parallel section, functional flush,
  * verification, statistics collection.
+ *
+ * @param sample_interval when > 0, sample every registered interval
+ *        metric each @p sample_interval ticks; the collected series
+ *        lands in WorkloadRun::stats.timeseries. Sampling is passive:
+ *        simulated statistics are bit-identical either way
+ *        (DESIGN.md §13).
  */
-WorkloadRun runWorkload(System &sys, Workload &w, Tick limit = maxTick);
+WorkloadRun runWorkload(System &sys, Workload &w, Tick limit = maxTick,
+                        Tick sample_interval = 0);
 
 /**
  * Factory: construct a workload by name. Names: "mp3d", "cholesky",

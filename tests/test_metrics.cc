@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the interval metrics subsystem (src/obs/metrics.hh) and
+ * its report pipeline: registry column order, the repeating sampler's
+ * delta rows and self-stop, sampling neutrality (sampled runs must be
+ * bit-identical to unsampled ones), mesh link instrumentation,
+ * histogram percentiles, the Accumulator/Histogram merge fixes, and
+ * a golden-file check of the cpxreport markdown generator against
+ * the committed mini sweep in tests/data/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <numeric>
+#include <string>
+
+#include "bench/report_gen.hh"
+#include "bench/runner.hh"
+#include "core/config.hh"
+#include "core/report.hh"
+#include "net/mesh.hh"
+#include "obs/metrics.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "workloads/workload.hh"
+
+namespace cpx
+{
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistry, KeepsRegistrationOrderAndReadsLiveValues)
+{
+    MetricRegistry reg;
+    Counter c;
+    std::uint64_t v = 7;
+    reg.addCounter("alpha", c);
+    reg.addValue("beta", v);
+    reg.add("gamma", [] { return std::uint64_t{42}; });
+
+    ASSERT_EQ(reg.size(), 3u);
+    EXPECT_EQ(reg.name(0), "alpha");
+    EXPECT_EQ(reg.name(1), "beta");
+    EXPECT_EQ(reg.name(2), "gamma");
+
+    ++c;
+    ++c;
+    v = 11;
+    std::vector<std::uint64_t> snap;
+    reg.snapshot(snap);
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0], 2u);
+    EXPECT_EQ(snap[1], 11u);
+    EXPECT_EQ(snap[2], 42u);
+}
+
+// ---------------------------------------------------------------------------
+// IntervalSampler
+// ---------------------------------------------------------------------------
+
+TEST(IntervalSampler, RecordsPerIntervalDeltasAndStopsItself)
+{
+    EventQueue eq;
+    std::uint64_t counter = 0;
+    MetricRegistry reg;
+    reg.addValue("c", counter);
+
+    // Bump the counter between sampling points; the run is "done"
+    // once simulated time reaches 3000, so the firing at tick 3000
+    // records the final row and unschedules the repeat.
+    eq.schedule(500, [&counter] { counter += 1; });
+    eq.schedule(1500, [&counter] { counter += 2; });
+    eq.schedule(2500, [&counter] { counter += 3; });
+
+    IntervalSampler sampler(eq, reg, 1000);
+    sampler.start([&eq] { return eq.now() >= 3000; });
+    eq.run();
+
+    MetricTimeSeries series = sampler.takeSeries();
+    EXPECT_EQ(series.interval, 1000u);
+    ASSERT_EQ(series.names.size(), 1u);
+    EXPECT_EQ(series.names[0], "c");
+    ASSERT_EQ(series.rows(), 3u);
+    EXPECT_EQ(series.ticks[0], 1000u);
+    EXPECT_EQ(series.ticks[1], 2000u);
+    EXPECT_EQ(series.ticks[2], 3000u);
+    EXPECT_EQ(series.at(0, 0), 1u);
+    EXPECT_EQ(series.at(1, 0), 2u);
+    EXPECT_EQ(series.at(2, 0), 3u);
+
+    // The sampler must not keep the queue alive after done(): the
+    // queue drained, so simulated time stopped at the last firing.
+    EXPECT_EQ(eq.now(), 3000u);
+}
+
+TEST(IntervalSamplerDeathTest, RejectsZeroInterval)
+{
+    EventQueue eq;
+    MetricRegistry reg;
+    EXPECT_DEATH({ IntervalSampler sampler(eq, reg, 0); },
+                 "interval must be > 0");
+}
+
+// ---------------------------------------------------------------------------
+// Sampling neutrality: observation cannot change simulated behaviour
+// ---------------------------------------------------------------------------
+
+MachineParams
+meshParams(unsigned procs = 4)
+{
+    MachineParams params =
+        makeParams(ProtocolConfig::pcwm(),
+                   Consistency::ReleaseConsistency,
+                   NetworkKind::Mesh, 32);
+    params.numProcs = procs;
+    return params;
+}
+
+// Drop the event-queue telemetry lines from a stats dump: the
+// sampler's own events legitimately perturb eventsExecuted and
+// peakPendingEvents, which is why the JSON baseline gate exempts the
+// "kernel" block. Every simulated statistic must still match exactly.
+std::string
+stripKernelTelemetry(std::string dump)
+{
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < dump.size()) {
+        std::size_t end = dump.find('\n', pos);
+        if (end == std::string::npos)
+            end = dump.size();
+        std::string line = dump.substr(pos, end - pos);
+        if (line.rfind("system.eventsExecuted", 0) != 0 &&
+            line.rfind("system.peakPendingEvents", 0) != 0 &&
+            line.rfind("system.scheduleAllocs", 0) != 0)
+            out += line + "\n";
+        pos = end + 1;
+    }
+    return out;
+}
+
+TEST(SamplingNeutrality, SampledRunStatsAreBitIdentical)
+{
+    System plain(meshParams());
+    auto w1 = makeWorkload("migratory", 0.1);
+    WorkloadRun r1 = runWorkload(plain, *w1);
+
+    System sampled(meshParams());
+    auto w2 = makeWorkload("migratory", 0.1);
+    WorkloadRun r2 = runWorkload(sampled, *w2, maxTick, 2000);
+
+    ASSERT_TRUE(r1.verified);
+    ASSERT_TRUE(r2.verified);
+    EXPECT_EQ(r1.execTime, r2.execTime);
+    EXPECT_TRUE(r1.stats.timeseries.empty());
+    EXPECT_FALSE(r2.stats.timeseries.empty());
+    // The full stats dump covers every simulated counter.
+    EXPECT_EQ(stripKernelTelemetry(formatSystemStats(plain)),
+              stripKernelTelemetry(formatSystemStats(sampled)));
+}
+
+TEST(SamplingNeutrality, TwoSampledRunsProduceIdenticalSeries)
+{
+    auto sampleOnce = [] {
+        System sys(meshParams());
+        auto w = makeWorkload("migratory", 0.1);
+        return runWorkload(sys, *w, maxTick, 2000).stats.timeseries;
+    };
+    MetricTimeSeries a = sampleOnce();
+    MetricTimeSeries b = sampleOnce();
+
+    EXPECT_EQ(a.interval, b.interval);
+    EXPECT_EQ(a.names, b.names);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.deltas, b.deltas);
+    EXPECT_GT(a.rows(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Mesh link instrumentation
+// ---------------------------------------------------------------------------
+
+TEST(MeshLinkMetrics, SeriesCarriesPerLinkFlitColumns)
+{
+    System sys(meshParams());
+    auto w = makeWorkload("migratory", 0.1);
+    WorkloadRun run = runWorkload(sys, *w, maxTick, 2000);
+    ASSERT_TRUE(run.verified);
+    const MetricTimeSeries &series = run.stats.timeseries;
+    ASSERT_FALSE(series.empty());
+
+    // Registration is deterministic: a fresh registry over the same
+    // (finished) system reproduces the series' column set, and its
+    // cumulative values bound the summed deltas (traffic after the
+    // final sampling row is not in the series).
+    MetricRegistry reg;
+    sys.registerMetrics(reg);
+    ASSERT_EQ(reg.size(), series.names.size());
+    std::uint64_t mesh_columns = 0, mesh_traffic = 0;
+    for (std::size_t col = 0; col < reg.size(); ++col) {
+        ASSERT_EQ(reg.name(col), series.names[col]);
+        if (series.names[col].rfind("mesh.", 0) != 0)
+            continue;
+        ++mesh_columns;
+        std::uint64_t sum = 0;
+        for (std::size_t row = 0; row < series.rows(); ++row)
+            sum += series.at(row, col);
+        EXPECT_LE(sum, reg.value(col)) << series.names[col];
+        mesh_traffic += sum;
+    }
+    // 2x2 mesh: 2 metrics per in-grid unidirectional link.
+    EXPECT_EQ(mesh_columns, 16u);
+    EXPECT_GT(mesh_traffic, 0u);
+
+    // The raw per-link hook agrees that traffic crossed the mesh.
+    MeshNetwork *mesh = sys.mesh();
+    ASSERT_NE(mesh, nullptr);
+    std::uint64_t hook_flits = 0;
+    for (unsigned y = 0; y < mesh->rows(); ++y)
+        for (unsigned x = 0; x < mesh->columns(); ++x)
+            for (unsigned d = 0; d < 4; ++d)
+                hook_flits += mesh->linkFlitCount(x, y, d);
+    EXPECT_GT(hook_flits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentiles
+// ---------------------------------------------------------------------------
+
+TEST(HistogramPercentile, InterpolatesAndClampsToObservedRange)
+{
+    Histogram h(10, 10);
+    for (std::uint64_t v = 5; v < 100; v += 10)  // one per bucket
+        h.sample(v);
+
+    // 10 evenly spread samples: the median sits mid-range and every
+    // estimate stays inside the exact observed [min, max].
+    EXPECT_GE(h.percentile(0.50), h.summary().min());
+    EXPECT_LE(h.percentile(0.50), h.summary().max());
+    EXPECT_NEAR(h.percentile(0.50), 45.0, 10.0);
+    EXPECT_LE(h.percentile(0.99), h.summary().max());
+    EXPECT_GE(h.percentile(0.99), h.percentile(0.90));
+    EXPECT_GE(h.percentile(0.90), h.percentile(0.50));
+}
+
+TEST(HistogramPercentile, EmptyIsZeroAndOverflowReportsMax)
+{
+    Histogram empty(16, 4);
+    EXPECT_EQ(empty.percentile(0.5), 0.0);
+
+    Histogram h(16, 2);  // values >= 32 land in overflow
+    h.sample(1);
+    h.sample(100);
+    h.sample(200);
+    // Ranks in the overflow bucket cannot be resolved beyond the
+    // observed maximum.
+    EXPECT_EQ(h.percentile(0.99), 200.0);
+}
+
+// ---------------------------------------------------------------------------
+// Merge fixes
+// ---------------------------------------------------------------------------
+
+TEST(AccumulatorMerge, EmptySideDoesNotCorruptMinMax)
+{
+    Accumulator a;
+    a.sample(5.0);
+    a.sample(9.0);
+
+    Accumulator empty;
+    a.merge(empty);  // no-op: empty's zero min/max must not leak in
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 5.0);
+    EXPECT_EQ(a.max(), 9.0);
+
+    Accumulator b;
+    b.merge(a);  // adopt: min must be 5, not min(0, 5) = 0
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.min(), 5.0);
+    EXPECT_EQ(b.max(), 9.0);
+    EXPECT_EQ(b.mean(), 7.0);
+}
+
+TEST(HistogramMergeDeathTest, GeometryMismatchIsFatal)
+{
+    Histogram a(16, 8);
+    Histogram b(32, 8);
+    EXPECT_DEATH(a.merge(b), "geometry mismatch");
+    Histogram c(16, 4);
+    EXPECT_DEATH(a.merge(c), "geometry mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Report generator (golden-filed against tests/data/)
+// ---------------------------------------------------------------------------
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path);
+    EXPECT_TRUE(file.good()) << "cannot open " << path;
+    return std::string(std::istreambuf_iterator<char>(file),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST(ReportGen, MiniSweepValidatesAsResultsFile)
+{
+    std::string error;
+    EXPECT_TRUE(bench::validateResultsFile(
+        std::string(CPX_TEST_DATA_DIR) + "/mini_sweep.json", error))
+        << error;
+}
+
+TEST(ReportGen, MatchesGoldenMiniSweepReport)
+{
+    std::string json =
+        readFile(std::string(CPX_TEST_DATA_DIR) + "/mini_sweep.json");
+    bench::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(bench::parseJson(json, doc, error)) << error;
+
+    std::string report;
+    ASSERT_TRUE(bench::generateReport(doc, bench::ReportOptions{},
+                                      report, error))
+        << error;
+    std::string golden = readFile(std::string(CPX_TEST_DATA_DIR) +
+                                  "/mini_sweep_report.md");
+    EXPECT_EQ(report, golden)
+        << "regenerate with: cpxreport tests/data/mini_sweep.json "
+           "--out=tests/data/mini_sweep_report.md";
+}
+
+TEST(ReportGen, RejectsDocumentsWithoutSchema)
+{
+    bench::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(bench::parseJson("{\"points\": []}", doc, error))
+        << error;
+    std::string report;
+    EXPECT_FALSE(bench::generateReport(doc, bench::ReportOptions{},
+                                       report, error));
+    EXPECT_NE(error.find("schema"), std::string::npos) << error;
+}
+
+} // anonymous namespace
+} // namespace cpx

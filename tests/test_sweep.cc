@@ -206,6 +206,10 @@ TEST(CheckedParseDeathTest, BenchOptionsRejectBadValues)
                 "--scale: must be positive");
     EXPECT_EXIT(parse({"--jobs=0"}), ExitedWithCode(1),
                 "--jobs: must be positive");
+    EXPECT_EXIT(parse({"--sample-interval=abc"}), ExitedWithCode(1),
+                "--sample-interval: malformed number");
+    EXPECT_EXIT(parse({"--sample-interval=-5"}), ExitedWithCode(1),
+                "--sample-interval: negative value");
     EXPECT_EXIT(parse({"--bogus"}), ExitedWithCode(1),
                 "unknown option");
 }
@@ -214,6 +218,7 @@ TEST(CheckedParse, AcceptsWellFormedNumbers)
 {
     EXPECT_EQ(parseUnsigned("16", "--procs"), 16u);
     EXPECT_EQ(parseU64("0x10", "--seed"), 16u);
+    EXPECT_EQ(parseU64("5000", "--sample-interval"), 5000u);
     EXPECT_DOUBLE_EQ(parseDouble("0.25", "--scale"), 0.25);
     EXPECT_EQ(parsePositiveUnsigned("4", "--jobs"), 4u);
 }

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Continuous-integration driver: plain build + tests, sanitized build
 # + tests, a short seeded stress pass under the coherence checker
-# with chaos-network fault injection, and a parallel harness smoke
+# with chaos-network fault injection, a parallel harness smoke
 # sweep whose JSON results are validated — and, when a committed
 # BENCH_baseline.json exists, gated against the baseline (any
-# simulated-stat drift fails; an events/sec regression only warns).
+# simulated-stat drift fails; an events/sec regression only warns) —
+# and a sampled mesh sweep rendered to markdown through cpxreport.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 #
@@ -77,6 +78,26 @@ else
 fi
 "$root/$prefix/tools/cpxbench" --perf-summary="$bench_json"
 stage_done "harness smoke sweep"
+
+# Interval-metrics smoke: one sampled mesh sweep must validate under
+# --check-json (timeseries schema included) and render a non-empty
+# markdown report. No baseline gate here — the sampled sweep is a
+# subset suite, and sampling neutrality is covered by ctest; this
+# stage proves the sampling → JSON → report pipeline end to end.
+echo "== sampled sweep + report (cpxreport)"
+ts_json="$root/$prefix/BENCH_sampled.json"
+report_md="$root/$prefix/REPORT_sampled.md"
+rm -f "$ts_json" "$report_md"
+"$root/$prefix/tools/cpxbench" --only=table3_mesh --smoke \
+    --sample-interval=5000 --jobs="$jobs" --json="$ts_json" \
+    >/dev/null
+"$root/$prefix/tools/cpxbench" --check-json="$ts_json"
+"$root/$prefix/tools/cpxreport" "$ts_json" --out="$report_md"
+test -s "$report_md" || {
+    echo "cpxreport produced an empty report" >&2
+    exit 1
+}
+stage_done "sampled sweep + report"
 
 # Flight-recorder smoke: one traced run must produce a Chrome trace
 # JSON that parses and keeps its async begin/end events balanced.

@@ -18,6 +18,10 @@
  *   --seed=N        workload seed for seeded workloads
  *   --smoke         quick pass: scale 0.1, 8 procs (CI; overridable
  *                   by a later --scale/--procs)
+ *   --sample-interval=N  sample interval metrics every N ticks and
+ *                   embed the per-point "timeseries" JSON block
+ *                   (0 = off, the default; simulated stats are
+ *                   bit-identical either way — DESIGN.md §13)
  *   --only=A,B      run only the named bench targets
  *   --list          list bench targets and exit
  *   --check-json=P  validate an existing results file (parseable,
@@ -78,6 +82,9 @@ main(int argc, char **argv)
             opts.seed = parseU64(arg + 7, "--seed");
         else if (std::strncmp(arg, "--json=", 7) == 0)
             opts.jsonPath = arg + 7;
+        else if (std::strncmp(arg, "--sample-interval=", 18) == 0)
+            opts.sampleInterval =
+                parseU64(arg + 18, "--sample-interval");
         else if (std::strcmp(arg, "--smoke") == 0) {
             opts.scale = 0.1;
             opts.procs = 8;

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * cpxreport — render a cpx-sweep-1 JSON results file as markdown.
+ *
+ *   cpxbench --smoke --sample-interval=5000 --json=results.json
+ *   cpxreport results.json --out=report.md
+ *
+ * Sections (see DESIGN.md §13): per-application execution-time
+ * decomposition normalized to BASIC = 100 (the paper's Figure 2/3
+ * shape), peak-vs-mean mesh link utilization for sampled mesh
+ * points, and the top-N phase anomalies — intervals where a sampled
+ * metric deviates more than 2σ from its run mean.
+ *
+ * Options:
+ *   --out=PATH   write the report to PATH (default: stdout)
+ *   --top=N      rows in the anomaly table (default 10)
+ *   --links=N    rows per link-utilization table (default 10)
+ *
+ * Exit status: 0 on success, 1 on unreadable/invalid input.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/report_gen.hh"
+#include "sim/parse.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpx;
+    using namespace cpx::bench;
+
+    std::string json_path;
+    std::string out_path;
+    ReportOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--out=", 6) == 0)
+            out_path = arg + 6;
+        else if (std::strncmp(arg, "--top=", 6) == 0)
+            opts.topAnomalies = parseUnsigned(arg + 6, "--top");
+        else if (std::strncmp(arg, "--links=", 8) == 0)
+            opts.topLinks = parseUnsigned(arg + 8, "--links");
+        else if (std::strncmp(arg, "--", 2) == 0)
+            fatal("unknown option '%s' (see the header of "
+                  "tools/cpxreport.cc)",
+                  arg);
+        else if (json_path.empty())
+            json_path = arg;
+        else
+            fatal("more than one input file ('%s' and '%s')",
+                  json_path.c_str(), arg);
+    }
+    if (json_path.empty())
+        fatal("usage: cpxreport RESULTS.json [--out=PATH] [--top=N] "
+              "[--links=N]");
+
+    std::string error;
+    if (!generateReportFile(json_path, opts, out_path, error)) {
+        std::fprintf(stderr, "cpxreport: %s\n", error.c_str());
+        return 1;
+    }
+    if (!out_path.empty())
+        std::printf("report written to %s\n", out_path.c_str());
+    return 0;
+}

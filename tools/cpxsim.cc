@@ -34,6 +34,12 @@
  *   --trace-buffer=N    per-node ring capacity in records
  *                       (default 4096; oldest records overwritten)
  *
+ * Interval metrics (see DESIGN.md §13):
+ *   --sample-interval=N sample every registered metric each N ticks
+ *                       (0 = off, the default). Passive: simulated
+ *                       stats are bit-identical either way. The run
+ *                       summary reports the rows collected.
+ *
  * Stress harness (see DESIGN.md "Stress harness"):
  *   --check             run the coherence invariant checker
  *                       (panics on the first violation)
@@ -99,6 +105,7 @@ main(int argc, char **argv)
     Tick watchdog_interval = 100'000;
     std::string trace_out;
     std::size_t trace_buffer = TraceSink::defaultRingCapacity;
+    Tick sample_interval = 0;
     MachineParams params;
 
     for (int i = 1; i < argc; ++i) {
@@ -163,6 +170,8 @@ main(int argc, char **argv)
         } else if (const char *v = value("--trace-buffer=")) {
             trace_buffer =
                 parsePositiveUnsigned(v, "--trace-buffer");
+        } else if (const char *v = value("--sample-interval=")) {
+            sample_interval = parseU64(v, "--sample-interval");
         } else if (const char *v = value("--trace=")) {
             std::string tags = v;
             std::size_t pos = 0;
@@ -222,7 +231,8 @@ main(int argc, char **argv)
     }
 
     auto workload = makeWorkload(app, scale, seed);
-    WorkloadRun run = runWorkload(sys, *workload, limit);
+    WorkloadRun run =
+        runWorkload(sys, *workload, limit, sample_interval);
     RunResult &r = run.stats;
 
     if (checker)
@@ -254,6 +264,15 @@ main(int argc, char **argv)
                         checker->checksRun()),
                     static_cast<unsigned long long>(
                         checker->messagesObserved()));
+    }
+
+    if (sample_interval > 0) {
+        std::printf("timeseries     %zu intervals of %llu pclocks, "
+                    "%zu metrics\n",
+                    r.timeseries.rows(),
+                    static_cast<unsigned long long>(
+                        r.timeseries.interval),
+                    r.timeseries.names.size());
     }
 
     if (tracer) {
