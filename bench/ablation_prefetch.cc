@@ -78,7 +78,13 @@ setup(SweepRunner &runner, const Options &)
             std::printf(" %9s", app.c_str());
         std::printf("\n");
 
+        if (!rowOk(runner, baseline.handles,
+                   "ablation_prefetch baseline"))
+            return;
         for (const Row &row : rows) {
+            if (!rowOk(runner, row.handles,
+                       "ablation_prefetch " + row.label))
+                continue;
             std::printf("%-12s", row.label.c_str());
             for (std::size_t i = 0; i < row.handles.size(); ++i) {
                 Tick base = runner[baseline.handles[i]].run.execTime;

@@ -60,6 +60,11 @@ setup(SweepRunner &runner, const Options &)
                         "P+M");
             for (std::size_t c = 0; c < counts.size(); ++c) {
                 const Cell &cell = grid[a][c];
+                if (!rowOk(runner,
+                           {cell.basic, cell.pcw, cell.pm},
+                           "ablation_scalability " + apps[a] + " p" +
+                               std::to_string(counts[c])))
+                    continue;
                 Tick tb = runner[cell.basic].run.execTime;
                 Tick tc = runner[cell.pcw].run.execTime;
                 Tick tm = runner[cell.pm].run.execTime;

@@ -57,12 +57,19 @@ setup(SweepRunner &runner, const Options &)
             "software read-exclusive prefetching additionally "
             "attacks the write penalty, like P+M does in hardware");
 
+        if (!rowOk(runner, {baseline},
+                   "ablation_swprefetch baseline"))
+            return;
         Tick base = runner[baseline].run.execTime;
 
         std::printf("%-14s %10s %12s\n", "config", "rel.time",
                     "sw prefetches");
         std::printf("%-14s %9.1f%% %12s\n", "BASIC", 100.0, "-");
         for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (!rowOk(runner, {handles[i]},
+                       std::string("ablation_swprefetch ") +
+                           rows[i].label))
+                continue;
             const SweepResult &r = runner[handles[i]];
             std::printf("%-14s %9.1f%% %12llu\n", rows[i].label,
                         100.0 * r.run.execTime / base,

@@ -73,7 +73,13 @@ setup(SweepRunner &runner, const Options &)
             std::printf(" %8s %7s", "time", "traffic");
         std::printf("\n");
 
+        if (!rowOk(runner, baseline.handles,
+                   "ablation_threshold baseline"))
+            return;
         for (const Row &row : rows) {
+            if (!rowOk(runner, row.handles,
+                       "ablation_threshold " + row.label))
+                continue;
             std::printf("%-12s", row.label.c_str());
             for (std::size_t i = 0; i < row.handles.size(); ++i) {
                 const RunResult &base =

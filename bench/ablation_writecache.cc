@@ -45,6 +45,10 @@ setup(SweepRunner &runner, const Options &)
             "updates");
 
         for (std::size_t a = 0; a < grid.size(); ++a) {
+            if (!rowOk(runner, grid[a],
+                       "ablation_writecache " +
+                           paperApplications()[a]))
+                continue;
             std::printf("\n%s:\n%-10s %10s %12s %14s\n",
                         paperApplications()[a].c_str(), "wc blocks",
                         "exec", "net bytes", "combined writes");

@@ -41,6 +41,39 @@ runOne(const std::string &app, MachineParams params,
     return run;
 }
 
+/**
+ * Render guard for fault-isolated sweeps: true iff every handle in
+ * @p handles completed and verified. Otherwise prints a single
+ * skip-note naming @p what and each failed point's status, so a
+ * table whose inputs are missing is dropped loudly instead of
+ * rendered full of zeros. Under --isolate=none this never fires
+ * (failures are fatal before rendering starts).
+ */
+inline bool
+rowOk(const SweepRunner &runner,
+      const std::vector<std::size_t> &handles, const std::string &what)
+{
+    std::string bad;
+    for (std::size_t h : handles) {
+        if (runner.ok(h))
+            continue;
+        if (!bad.empty())
+            bad += ", ";
+        if (h < runner.results().size()) {
+            const SweepResult &r = runner[h];
+            bad += r.point.app + " [" +
+                   pointStatusName(r.status) + "]";
+        } else {
+            bad += "[not-run]";
+        }
+    }
+    if (bad.empty())
+        return true;
+    std::printf("  (skipping %s — failed point(s): %s)\n",
+                what.c_str(), bad.c_str());
+    return false;
+}
+
 inline void
 printBanner(const char *title, const char *paper_expectation)
 {

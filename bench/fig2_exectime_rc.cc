@@ -36,6 +36,9 @@ setup(SweepRunner &runner, const Options &)
             "alone only trims acquire stall; CW+M forfeits CW's gain "
             "on migratory applications");
         for (std::size_t a = 0; a < grid.size(); ++a) {
+            if (!rowOk(runner, grid[a],
+                       "fig2 " + paperApplications()[a]))
+                continue;
             std::vector<RunResult> results;
             for (std::size_t h : grid[a])
                 results.push_back(runner[h].run.stats);

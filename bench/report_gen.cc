@@ -448,13 +448,31 @@ generateReport(const JsonValue &doc, const ReportOptions &opts,
         error = "no sweep points recorded";
         return false;
     }
-    const std::vector<JsonValue> &points = doc.at("points").items;
+    // Failed points (fault-isolated sweeps, DESIGN.md §14) carry a
+    // status/error block instead of stats; report only on completed
+    // points, and say how many were dropped. A missing "status"
+    // member means "ok" (pre-§14 results files).
+    std::vector<JsonValue> points;
+    std::size_t skipped = 0;
+    for (const JsonValue &p : doc.at("points").items) {
+        if (textOr(p, "status", "ok") == "ok")
+            points.push_back(p);
+        else
+            ++skipped;
+    }
+    if (points.empty()) {
+        error = "every sweep point failed — nothing to report on";
+        return false;
+    }
 
     out.clear();
     append(out, "# cpx sweep report\n\n");
     append(out, "- suite: %s\n",
            textOr(doc, "suite", "?").c_str());
     append(out, "- points: %zu\n", points.size());
+    if (skipped > 0)
+        append(out, "- skipped: %zu failed point(s) excluded\n",
+               skipped);
     append(out, "- scale: %g, procs: %.0f\n",
            numberOr(doc, "scale", 0), numberOr(doc, "procs", 0));
     append(out, "\n");

@@ -3,15 +3,24 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <deque>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "sim/parse.hh"
@@ -22,6 +31,8 @@ namespace cpx::bench
 namespace
 {
 
+using SteadyClock = std::chrono::steady_clock;
+
 std::string
 networkName(const MachineParams &params)
 {
@@ -29,177 +40,6 @@ networkName(const MachineParams &params)
         return "uniform";
     return "mesh" + std::to_string(params.meshLinkBits);
 }
-
-} // anonymous namespace
-
-Options
-parseOptions(int argc, char **argv)
-{
-    Options opts;
-    if (const char *env = std::getenv("CPX_SCALE"))
-        opts.scale = parsePositiveDouble(env, "CPX_SCALE");
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strncmp(arg, "--scale=", 8) == 0)
-            opts.scale = parsePositiveDouble(arg + 8, "--scale");
-        else if (std::strncmp(arg, "--procs=", 8) == 0)
-            opts.procs = parsePositiveUnsigned(arg + 8, "--procs");
-        else if (std::strncmp(arg, "--jobs=", 7) == 0)
-            opts.jobs = parsePositiveUnsigned(arg + 7, "--jobs");
-        else if (std::strncmp(arg, "--seed=", 7) == 0)
-            opts.seed = parseU64(arg + 7, "--seed");
-        else if (std::strncmp(arg, "--json=", 7) == 0)
-            opts.jsonPath = arg + 7;
-        else if (std::strncmp(arg, "--sample-interval=", 18) == 0)
-            opts.sampleInterval =
-                parseU64(arg + 18, "--sample-interval");
-        else
-            fatal("unknown option '%s' (use --scale=F --procs=N "
-                  "--jobs=N --seed=N --json=PATH "
-                  "--sample-interval=N)",
-                  arg);
-    }
-    return opts;
-}
-
-std::string
-describePoint(const SweepPoint &point)
-{
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "%s under %s / %s / %s / %u procs "
-                  "(scale %.2f, seed %llu)",
-                  point.app.c_str(),
-                  point.params.protocol.name().c_str(),
-                  point.params.consistency ==
-                          Consistency::SequentialConsistency
-                      ? "SC"
-                      : "RC",
-                  networkName(point.params).c_str(),
-                  point.params.numProcs, point.scale,
-                  static_cast<unsigned long long>(point.seed));
-    return buf;
-}
-
-SweepRunner::SweepRunner(const Options &opts_in) : opts(opts_in) {}
-
-std::size_t
-SweepRunner::add(const std::string &app, MachineParams params,
-                 const std::string &tag, unsigned procs)
-{
-    params.numProcs = procs ? procs : opts.procs;
-    SweepPoint point{app, params, tag, opts.scale, opts.seed};
-    queued.push_back(std::move(point));
-    return done.size() + queued.size() - 1;
-}
-
-void
-SweepRunner::runAll()
-{
-    if (queued.empty())
-        return;
-
-    std::vector<SweepResult> batch(queued.size());
-    std::atomic<std::size_t> next{0};
-
-    auto wall_start = std::chrono::steady_clock::now();
-
-    // Per-point completion reporting: a live one-line ticker on a
-    // terminal, one plain line per point otherwise (CI logs). Both
-    // show running events/sec and an ETA extrapolated from the mean
-    // host cost of the points completed so far — coarse under a
-    // heterogeneous grid, but it replaces a silent multi-minute gap.
-    const bool tty = isatty(fileno(stderr)) != 0;
-    std::mutex progress_mutex;
-    std::size_t completed = 0;
-    std::uint64_t events_done = 0;
-    auto report_progress = [&](const SweepResult &r) {
-        std::lock_guard<std::mutex> hold(progress_mutex);
-        ++completed;
-        events_done += r.run.stats.eventsExecuted;
-        std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() - wall_start;
-        double secs = elapsed.count();
-        double rate = secs > 0 ? events_done / secs : 0.0;
-        double eta = completed ? secs / completed *
-                                     (queued.size() - completed)
-                               : 0.0;
-        std::fprintf(stderr,
-                     "%s[%zu/%zu] %s %s | %.3g Mev/s | ETA %.0fs%s",
-                     tty ? "\r\033[K" : "", completed, queued.size(),
-                     r.point.tag.empty() ? "point"
-                                         : r.point.tag.c_str(),
-                     r.point.app.c_str(), rate / 1e6, eta,
-                     tty && completed != queued.size() ? "" : "\n");
-    };
-
-    auto worker = [&]() {
-        for (;;) {
-            std::size_t i = next.fetch_add(1);
-            if (i >= queued.size())
-                return;
-            const SweepPoint &point = queued[i];
-            auto start = std::chrono::steady_clock::now();
-            System sys(point.params);
-            auto w = makeWorkload(point.app, point.scale, point.seed);
-            WorkloadRun run =
-                runWorkload(sys, *w, maxTick, opts.sampleInterval);
-            std::chrono::duration<double> elapsed =
-                std::chrono::steady_clock::now() - start;
-            batch[i] = SweepResult{point, std::move(run),
-                                   elapsed.count()};
-            report_progress(batch[i]);
-        }
-    };
-
-    unsigned jobs = opts.jobs;
-    if (jobs == 0)
-        jobs = std::max(1u, std::thread::hardware_concurrency());
-    jobs = std::min<std::size_t>(jobs, queued.size());
-    if (jobs <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(jobs);
-        for (unsigned t = 0; t < jobs; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
-    }
-    std::chrono::duration<double> wall =
-        std::chrono::steady_clock::now() - wall_start;
-    hostSeconds += wall.count();
-
-    // Report verification failures only after every worker has
-    // joined: fatal() exits the process, and a failing point must
-    // name its full configuration so it can be reproduced alone.
-    std::string failures;
-    for (const SweepResult &r : batch) {
-        if (!r.run.verified)
-            failures += "\n  " + describePoint(r.point);
-    }
-    for (SweepResult &r : batch)
-        done.push_back(std::move(r));
-    queued.clear();
-    if (!failures.empty())
-        fatal("sweep point(s) failed verification:%s",
-              failures.c_str());
-}
-
-const SweepResult &
-SweepRunner::operator[](std::size_t handle) const
-{
-    if (handle >= done.size())
-        fatal("sweep handle %zu not run yet (did you call "
-              "runAll()?)",
-              handle);
-    return done[handle];
-}
-
-// --- JSON output -----------------------------------------------------------
-
-namespace
-{
 
 std::string
 jsonEscape(const std::string &s)
@@ -244,7 +84,939 @@ jsonNumber(std::uint64_t v)
     return std::to_string(v);
 }
 
+/**
+ * Exact u64 readback: the parser keeps each number's raw token in
+ * JsonValue::text, so integers beyond 2^53 (which a double cannot
+ * hold exactly) still round-trip through the wire format.
+ */
+std::uint64_t
+jsonU64(const JsonValue &v)
+{
+    if (!v.text.empty() &&
+        v.text.find_first_of(".eE") == std::string::npos)
+        return std::strtoull(v.text.c_str(), nullptr, 10);
+    return static_cast<std::uint64_t>(v.number);
+}
+
+/** write(2) the whole buffer, riding out EINTR/short writes. */
+bool
+writeAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Atomically replace @p path with @p content: write "<path><suffix>",
+ * fsync it, then rename() into place, so readers never observe a
+ * torn file. Returns false and fills @p error on any failure (the
+ * temp file is removed).
+ */
+bool
+atomicWriteFile(const std::string &path, const std::string &content,
+                const std::string &suffix, std::string &error)
+{
+    const std::string tmp = path + suffix;
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file) {
+        error = "cannot write '" + tmp + "': " + std::strerror(errno);
+        return false;
+    }
+    bool ok =
+        std::fwrite(content.data(), 1, content.size(), file) ==
+            content.size() &&
+        std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
+    ok = (std::fclose(file) == 0) && ok;
+    if (ok && std::rename(tmp.c_str(), path.c_str()) != 0)
+        ok = false;
+    if (!ok) {
+        error = "atomic write to '" + path +
+                "' failed: " + std::strerror(errno);
+        std::remove(tmp.c_str());
+    }
+    return ok;
+}
+
+/** 64-bit FNV-1a over @p s. */
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+// --- fault-injection synthetic points (process isolation only) -------------
+//
+// Reserved app names the forked worker intercepts before touching the
+// simulator, used by `cpxbench --self-test-faults` and the isolation
+// tests to prove the supervisor survives every failure class. They
+// never reach makeWorkload() in-process: an unknown name there is a
+// fatal() (by design — the fast path cannot survive a real crash).
+
+constexpr const char *faultAppCrash = "__crash";        // SIGABRT
+constexpr const char *faultAppExit = "__exit";          // _exit(9)
+constexpr const char *faultAppHang = "__hang";          // never returns
+constexpr const char *faultAppGarbage = "__garbage";    // bad output
+constexpr const char *faultAppFlaky = "__flaky";        // fails once
+constexpr const char *faultAppUnverified = "__unverified";
+
+/** Marker-file env var driving faultAppFlaky (see runWorkerChild). */
+constexpr const char *flakyMarkerEnv = "CPX_FLAKY_MARKER";
+
+/**
+ * Run one real (non-synthetic) point on the calling thread and
+ * classify the outcome: Ok, or InvariantFailure when the simulation
+ * completed but failed verification.
+ */
+SweepResult
+executeRealPoint(const SweepPoint &point, Tick sample_interval)
+{
+    SweepResult res;
+    res.point = point;
+    res.attempts = 1;
+    auto start = SteadyClock::now();
+    System sys(point.params);
+    auto w = makeWorkload(point.app, point.scale, point.seed);
+    res.run = runWorkload(sys, *w, maxTick, sample_interval);
+    std::chrono::duration<double> elapsed = SteadyClock::now() - start;
+    res.hostSeconds = elapsed.count();
+    if (res.run.verified) {
+        res.status = PointStatus::Ok;
+    } else {
+        res.status = PointStatus::InvariantFailure;
+        res.error = "failed verification";
+    }
+    return res;
+}
+
+/**
+ * Worker-subprocess body: run the point (or act out its synthetic
+ * fault), write one cpx-wire-1 line to @p fd, and _exit. Never
+ * returns. Runs straight after fork() from the single-threaded
+ * supervisor, so arbitrary library code is safe here.
+ */
+[[noreturn]] void
+runWorkerChild(const SweepPoint &point, Tick sample_interval, int fd,
+               const std::string &hash, unsigned attempt)
+{
+    SweepPoint run_point = point;
+    bool force_unverified = false;
+    if (point.app == faultAppCrash) {
+        std::abort();
+    } else if (point.app == faultAppExit) {
+        _exit(9);
+    } else if (point.app == faultAppHang) {
+        for (;;)
+            ::pause();
+    } else if (point.app == faultAppGarbage) {
+        const char garbage[] = "** this is not a wire record **\n";
+        writeAll(fd, garbage, sizeof(garbage) - 1);
+        _exit(0);
+    } else if (point.app == faultAppFlaky) {
+        // Transient failure: crash while the marker file is absent,
+        // creating it on the way down so the retry succeeds.
+        const char *marker = std::getenv(flakyMarkerEnv);
+        if (!marker)
+            _exit(9);
+        if (::access(marker, F_OK) != 0) {
+            int mfd = ::open(marker, O_CREAT | O_WRONLY, 0644);
+            if (mfd >= 0)
+                ::close(mfd);
+            std::abort();
+        }
+        run_point.app = "migratory";
+    } else if (point.app == faultAppUnverified) {
+        run_point.app = "migratory";
+        force_unverified = true;
+    }
+
+    SweepResult res = executeRealPoint(run_point, sample_interval);
+    res.point = point;
+    res.configHash = hash;
+    res.attempts = attempt;
+    if (force_unverified) {
+        res.run.verified = false;
+        res.status = PointStatus::InvariantFailure;
+        res.error = "self-test: forced verification failure";
+    }
+    std::string line = serializeWireResult(res);
+    line += '\n';
+    writeAll(fd, line.data(), line.size());
+    ::close(fd);
+    _exit(0);
+}
+
+/** Capped exponential backoff before retry @p attempt (1-based). */
+double
+backoffSeconds(unsigned attempt)
+{
+    double d = 0.25 * static_cast<double>(
+                          1u << std::min(attempt - 1, 4u));
+    return std::min(d, 4.0);
+}
+
+/** Set by the SIGINT/SIGTERM handler installed during supervision. */
+volatile std::sig_atomic_t g_stopRequested = 0;
+
+void
+stopRequestHandler(int)
+{
+    g_stopRequested = 1;
+}
+
 } // anonymous namespace
+
+const char *
+pointStatusName(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::NotRun:           return "not-run";
+      case PointStatus::Ok:               return "ok";
+      case PointStatus::NonzeroExit:      return "exit";
+      case PointStatus::Signal:           return "signal";
+      case PointStatus::Timeout:          return "timeout";
+      case PointStatus::InvariantFailure: return "invariant";
+      case PointStatus::Garbage:          return "garbage";
+    }
+    return "?";
+}
+
+bool
+pointStatusRetryable(PointStatus status)
+{
+    // Host-transient failure classes are worth a retry; a failed
+    // verification is deterministic simulated behavior and is
+    // reported as-is.
+    switch (status) {
+      case PointStatus::NonzeroExit:
+      case PointStatus::Signal:
+      case PointStatus::Timeout:
+      case PointStatus::Garbage:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+pointConfigHash(const SweepPoint &point, Tick sample_interval)
+{
+    const MachineParams &p = point.params;
+    std::ostringstream key;
+    auto d = [](double v) { return jsonNumber(v); };
+    // Every field that determines the simulated result, pinned to a
+    // versioned layout: changing the simulator's parameter space
+    // should change the salt, invalidating stale caches.
+    key << "cpx-point-1|" << point.app << '|' << d(point.scale) << '|'
+        << point.seed << '|' << sample_interval << '|' << p.numProcs
+        << '|' << p.blockBytes << '|' << p.pageBytes << '|'
+        << p.flcBytes << '|' << p.flcHitLatency << '|'
+        << p.flcFillLatency << '|' << p.flwbEntries << '|'
+        << p.slcBytes << '|' << p.slcAccessLatency << '|'
+        << p.slwbEntries << '|' << p.busTransferLatency << '|'
+        << p.memAccessLatency << '|'
+        << static_cast<int>(p.networkKind) << '|'
+        << p.uniformHopLatency << '|' << p.meshLinkBits << '|'
+        << p.chaos.enabled << '|' << p.chaos.seed << '|'
+        << p.chaos.maxJitter << '|' << p.chaos.spikePercent << '|'
+        << p.chaos.preservePairFifo << '|'
+        << static_cast<int>(p.consistency) << '|'
+        << p.protocol.prefetch << '|' << p.protocol.migratory << '|'
+        << p.protocol.compUpdate << '|' << p.prefetchMaxDegree << '|'
+        << p.prefetchInitialDegree << '|' << p.prefetchAdaptive << '|'
+        << d(p.prefetchHighMark) << '|' << d(p.prefetchLowMark) << '|'
+        << p.competitiveThreshold << '|' << p.writeCacheBlocks << '|'
+        << p.writeCacheEnabled;
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key.str())));
+    return buf;
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opts;
+    if (const char *env = std::getenv("CPX_SCALE"))
+        opts.scale = parsePositiveDouble(env, "CPX_SCALE");
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--scale=", 8) == 0)
+            opts.scale = parsePositiveDouble(arg + 8, "--scale");
+        else if (std::strncmp(arg, "--procs=", 8) == 0)
+            opts.procs = parsePositiveUnsigned(arg + 8, "--procs");
+        else if (std::strncmp(arg, "--jobs=", 7) == 0)
+            opts.jobs = parsePositiveUnsigned(arg + 7, "--jobs");
+        else if (std::strncmp(arg, "--seed=", 7) == 0)
+            opts.seed = parseU64(arg + 7, "--seed");
+        else if (std::strncmp(arg, "--json=", 7) == 0)
+            opts.jsonPath = arg + 7;
+        else if (std::strncmp(arg, "--sample-interval=", 18) == 0)
+            opts.sampleInterval =
+                parseU64(arg + 18, "--sample-interval");
+        else if (std::strncmp(arg, "--isolate=", 10) == 0) {
+            const char *mode = arg + 10;
+            if (std::strcmp(mode, "none") == 0)
+                opts.isolate = IsolateMode::None;
+            else if (std::strcmp(mode, "process") == 0)
+                opts.isolate = IsolateMode::Process;
+            else
+                fatal("bad --isolate mode '%s' (use none|process)",
+                      mode);
+        } else if (std::strncmp(arg, "--timeout=", 10) == 0)
+            opts.timeoutSec =
+                parsePositiveDouble(arg + 10, "--timeout");
+        else if (std::strncmp(arg, "--retries=", 10) == 0)
+            opts.retries = static_cast<unsigned>(
+                parseU64(arg + 10, "--retries"));
+        else if (std::strncmp(arg, "--journal=", 10) == 0)
+            opts.journalPath = arg + 10;
+        else if (std::strncmp(arg, "--resume=", 9) == 0) {
+            // Resuming implies continuing the same journal so the
+            // second run's completions land in the same file.
+            opts.resumePath = arg + 9;
+            if (opts.journalPath.empty())
+                opts.journalPath = opts.resumePath;
+        } else if (std::strncmp(arg, "--cache=", 8) == 0)
+            opts.cachePath = arg + 8;
+        else
+            fatal("unknown option '%s' (use --scale=F --procs=N "
+                  "--jobs=N --seed=N --json=PATH "
+                  "--sample-interval=N --isolate=none|process "
+                  "--timeout=SECS --retries=N --journal=PATH "
+                  "--resume=PATH --cache=DIR)",
+                  arg);
+    }
+    // Journaling and result reuse work in both modes; a deadline
+    // does not — an in-process point cannot be killed safely.
+    if (opts.isolate == IsolateMode::None && opts.timeoutSec > 0)
+        fatal("--timeout requires --isolate=process");
+    return opts;
+}
+
+std::string
+describePoint(const SweepPoint &point)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s under %s / %s / %s / %u procs "
+                  "(scale %.2f, seed %llu)",
+                  point.app.c_str(),
+                  point.params.protocol.name().c_str(),
+                  point.params.consistency ==
+                          Consistency::SequentialConsistency
+                      ? "SC"
+                      : "RC",
+                  networkName(point.params).c_str(),
+                  point.params.numProcs, point.scale,
+                  static_cast<unsigned long long>(point.seed));
+    return buf;
+}
+
+SweepRunner::SweepRunner(const Options &opts_in) : opts(opts_in) {}
+
+SweepRunner::~SweepRunner()
+{
+    if (journalFd >= 0)
+        ::close(journalFd);
+}
+
+std::size_t
+SweepRunner::add(const std::string &app, MachineParams params,
+                 const std::string &tag, unsigned procs)
+{
+    params.numProcs = procs ? procs : opts.procs;
+    SweepPoint point{app, params, tag, opts.scale, opts.seed};
+    queued.push_back(std::move(point));
+    return done.size() + queued.size() - 1;
+}
+
+void
+SweepRunner::loadResumeJournal()
+{
+    if (opts.resumePath.empty() || resumeLoaded)
+        return;
+    resumeLoaded = true;
+    JournalLoad load = loadJournal(opts.resumePath);
+    resumeByHash = std::move(load.byHash);
+    if (load.quarantined)
+        std::fprintf(stderr,
+                     "cpxbench: %zu corrupt journal line(s) in %s "
+                     "quarantined to %s\n",
+                     load.quarantined, opts.resumePath.c_str(),
+                     load.quarantineFile.c_str());
+    if (load.entries)
+        std::fprintf(stderr,
+                     "cpxbench: resume journal %s: %zu completed "
+                     "point(s) loaded\n",
+                     opts.resumePath.c_str(), load.entries);
+}
+
+void
+SweepRunner::journalAppend(const SweepResult &res)
+{
+    if (opts.journalPath.empty())
+        return;
+    std::lock_guard<std::mutex> hold(journalMutex);
+    if (journalFd < 0) {
+        journalFd = ::open(opts.journalPath.c_str(),
+                           O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (journalFd < 0)
+            fatal("cannot open journal '%s': %s",
+                  opts.journalPath.c_str(), std::strerror(errno));
+    }
+    std::string line = serializeWireResult(res);
+    line += '\n';
+    // Durability before ack: the record must be on disk before the
+    // point counts as done, or a crash right after could leave a
+    // resumed run believing less than it had finished (safe) — but
+    // never more (unsafe).
+    if (!writeAll(journalFd, line.data(), line.size()) ||
+        ::fsync(journalFd) != 0)
+        fatal("journal write to '%s' failed: %s",
+              opts.journalPath.c_str(), std::strerror(errno));
+}
+
+void
+SweepRunner::cacheStore(const SweepResult &res)
+{
+    if (opts.cachePath.empty() || res.status != PointStatus::Ok)
+        return;
+    ::mkdir(opts.cachePath.c_str(), 0755); // EEXIST is fine
+    std::string path =
+        opts.cachePath + "/" + res.configHash + ".json";
+    std::string error;
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".tmp.%ld",
+                  static_cast<long>(::getpid()));
+    if (!atomicWriteFile(path, serializeWireResult(res) + "\n",
+                         suffix, error))
+        std::fprintf(stderr, "cpxbench: cache store failed: %s\n",
+                     error.c_str());
+}
+
+bool
+SweepRunner::cacheLookup(const std::string &hash,
+                         SweepResult &out) const
+{
+    if (opts.cachePath.empty())
+        return false;
+    std::string path = opts.cachePath + "/" + hash + ".json";
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return false;
+    std::string line;
+    if (!std::getline(file, line))
+        return false;
+    std::string error;
+    SweepResult parsed;
+    if (!parseWireResult(line, parsed, error) ||
+        parsed.status != PointStatus::Ok || parsed.configHash != hash) {
+        std::fprintf(stderr,
+                     "cpxbench: ignoring bad cache entry %s%s%s\n",
+                     path.c_str(), error.empty() ? "" : ": ",
+                     error.c_str());
+        return false;
+    }
+    out = std::move(parsed);
+    out.source = ResultSource::Cache;
+    return true;
+}
+
+bool
+SweepRunner::anyFailed() const
+{
+    for (const SweepResult &r : done)
+        if (!r.ok())
+            return true;
+    return false;
+}
+
+std::size_t
+SweepRunner::failedCount() const
+{
+    std::size_t n = 0;
+    for (const SweepResult &r : done)
+        if (!r.ok())
+            ++n;
+    return n;
+}
+
+std::string
+SweepRunner::failureSummary() const
+{
+    std::string out;
+    for (const SweepResult &r : done) {
+        if (r.ok())
+            continue;
+        out += "\n  [" + std::string(pointStatusName(r.status)) +
+               "] " + describePoint(r.point);
+        if (!r.error.empty())
+            out += ": " + r.error;
+    }
+    return out;
+}
+
+void
+SweepRunner::runAll()
+{
+    if (queued.empty())
+        return;
+    loadResumeJournal();
+
+    auto wall_start = SteadyClock::now();
+
+    std::vector<SweepResult> batch(queued.size());
+    std::vector<std::size_t> todo;
+    std::size_t reused_journal = 0, reused_cache = 0;
+    for (std::size_t i = 0; i < queued.size(); ++i) {
+        std::string hash =
+            pointConfigHash(queued[i], opts.sampleInterval);
+        auto it = resumeByHash.find(hash);
+        if (it != resumeByHash.end()) {
+            // The same config can appear under several tags; each
+            // position gets a copy re-labelled with its own point.
+            batch[i] = it->second;
+            batch[i].point = queued[i];
+            batch[i].source = ResultSource::Journal;
+            ++reused_journal;
+            continue;
+        }
+        SweepResult cached;
+        if (cacheLookup(hash, cached)) {
+            batch[i] = std::move(cached);
+            batch[i].point = queued[i];
+            // A cache hit still gets journaled so --resume of this
+            // run's journal covers the full suite.
+            journalAppend(batch[i]);
+            ++reused_cache;
+            continue;
+        }
+        batch[i].point = queued[i];
+        batch[i].configHash = std::move(hash);
+        todo.push_back(i);
+    }
+    if (reused_journal || reused_cache)
+        std::fprintf(stderr,
+                     "cpxbench: reusing %zu journaled and %zu cached "
+                     "of %zu point(s); %zu to run\n",
+                     reused_journal, reused_cache, queued.size(),
+                     todo.size());
+
+    if (!todo.empty()) {
+        if (opts.isolate == IsolateMode::Process)
+            runBatchProcess(batch, todo);
+        else
+            runBatchInProcess(batch, todo);
+    }
+
+    std::chrono::duration<double> wall =
+        SteadyClock::now() - wall_start;
+    hostSeconds += wall.count();
+
+    if (interruptedFlag) {
+        // Keep whatever finished (it is journaled); callers check
+        // interrupted() and skip rendering/JSON.
+        for (SweepResult &r : batch)
+            done.push_back(std::move(r));
+        queued.clear();
+        return;
+    }
+
+    // The historical in-process contract: a failed point is fatal,
+    // after every point has run, naming each failure so it can be
+    // reproduced alone. Process isolation records failures as data
+    // instead; callers consult anyFailed() for the exit policy.
+    std::string failures;
+    if (opts.isolate == IsolateMode::None) {
+        for (const SweepResult &r : batch)
+            if (!r.ok())
+                failures += "\n  [" +
+                            std::string(pointStatusName(r.status)) +
+                            "] " + describePoint(r.point);
+    }
+    for (SweepResult &r : batch)
+        done.push_back(std::move(r));
+    queued.clear();
+    if (!failures.empty())
+        fatal("sweep point(s) failed verification:%s",
+              failures.c_str());
+}
+
+void
+SweepRunner::runBatchInProcess(std::vector<SweepResult> &batch,
+                               const std::vector<std::size_t> &todo)
+{
+    std::atomic<std::size_t> next{0};
+    auto wall_start = SteadyClock::now();
+
+    // Per-point completion reporting: a live one-line ticker on a
+    // terminal, one plain line per point otherwise (CI logs). Both
+    // show running events/sec and an ETA extrapolated from the mean
+    // host cost of the points completed so far — coarse under a
+    // heterogeneous grid, but it replaces a silent multi-minute gap.
+    const bool tty = isatty(fileno(stderr)) != 0;
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+    std::uint64_t events_done = 0;
+    auto report_progress = [&](const SweepResult &r) {
+        std::lock_guard<std::mutex> hold(progress_mutex);
+        ++completed;
+        events_done += r.run.stats.eventsExecuted;
+        std::chrono::duration<double> elapsed =
+            SteadyClock::now() - wall_start;
+        double secs = elapsed.count();
+        double rate = secs > 0 ? events_done / secs : 0.0;
+        double eta = completed ? secs / completed *
+                                     (todo.size() - completed)
+                               : 0.0;
+        std::fprintf(stderr,
+                     "%s[%zu/%zu] %s %s | %.3g Mev/s | ETA %.0fs%s",
+                     tty ? "\r\033[K" : "", completed, todo.size(),
+                     r.point.tag.empty() ? "point"
+                                         : r.point.tag.c_str(),
+                     r.point.app.c_str(), rate / 1e6, eta,
+                     tty && completed != todo.size() ? "" : "\n");
+    };
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t t = next.fetch_add(1);
+            if (t >= todo.size())
+                return;
+            std::size_t i = todo[t];
+            SweepResult res =
+                executeRealPoint(queued[i], opts.sampleInterval);
+            res.point = queued[i];
+            res.configHash = batch[i].configHash;
+            journalAppend(res);
+            cacheStore(res);
+            batch[i] = std::move(res);
+            report_progress(batch[i]);
+        }
+    };
+
+    unsigned jobs = opts.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min<std::size_t>(jobs, todo.size());
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    executed += todo.size();
+}
+
+void
+SweepRunner::runBatchProcess(std::vector<SweepResult> &batch,
+                             const std::vector<std::size_t> &todo)
+{
+    // One forked worker per in-flight point; the supervisor stays
+    // single-threaded (fork(2) from a multi-threaded parent can
+    // deadlock on locks held by other threads), so parallelism comes
+    // entirely from the worker processes.
+    struct Pending
+    {
+        std::size_t index;
+        unsigned attempt;
+        SteadyClock::time_point readyAt;
+    };
+    struct Worker
+    {
+        pid_t pid;
+        int fd;
+        std::size_t index;
+        unsigned attempt;
+        std::string buf;
+        SteadyClock::time_point started;
+        SteadyClock::time_point deadline;
+        bool timedOut = false;
+    };
+
+    std::deque<Pending> pending;
+    for (std::size_t i : todo)
+        pending.push_back({i, 1, SteadyClock::now()});
+    std::vector<Worker> live;
+
+    unsigned jobs = opts.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min<std::size_t>(jobs, todo.size());
+
+    // SIGINT/SIGTERM request a graceful stop: no new dispatches,
+    // live workers killed and reaped, journal already durable. No
+    // SA_RESTART, so a signal wakes the poll() below immediately.
+    struct sigaction sa{}, old_int{}, old_term{};
+    sa.sa_handler = stopRequestHandler;
+    sigemptyset(&sa.sa_mask);
+    g_stopRequested = 0;
+    sigaction(SIGINT, &sa, &old_int);
+    sigaction(SIGTERM, &sa, &old_term);
+
+    const bool tty = isatty(fileno(stderr)) != 0;
+    std::size_t completed = 0;
+    std::uint64_t events_done = 0;
+    auto wall_start = SteadyClock::now();
+    auto report_progress = [&](const SweepResult &r) {
+        ++completed;
+        events_done += r.run.stats.eventsExecuted;
+        std::chrono::duration<double> elapsed =
+            SteadyClock::now() - wall_start;
+        double secs = elapsed.count();
+        double rate = secs > 0 ? events_done / secs : 0.0;
+        double eta = completed ? secs / completed *
+                                     (todo.size() - completed)
+                               : 0.0;
+        std::fprintf(stderr,
+                     "%s[%zu/%zu] %s %s%s%s | %.3g Mev/s | "
+                     "ETA %.0fs%s",
+                     tty ? "\r\033[K" : "", completed, todo.size(),
+                     r.point.tag.empty() ? "point"
+                                         : r.point.tag.c_str(),
+                     r.point.app.c_str(), r.ok() ? "" : " !",
+                     r.ok() ? "" : pointStatusName(r.status),
+                     rate / 1e6, eta,
+                     tty && completed != todo.size() ? "" : "\n");
+    };
+
+    auto spawn = [&](const Pending &p) {
+        int fds[2];
+        if (::pipe(fds) != 0)
+            fatal("pipe: %s", std::strerror(errno));
+        pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("fork: %s", std::strerror(errno));
+        if (pid == 0) {
+            ::close(fds[0]);
+            // The child dies on its own signals; the parent owns
+            // graceful-stop handling.
+            std::signal(SIGINT, SIG_DFL);
+            std::signal(SIGTERM, SIG_DFL);
+            runWorkerChild(queued[p.index], opts.sampleInterval,
+                           fds[1], batch[p.index].configHash,
+                           p.attempt);
+        }
+        ::close(fds[1]);
+        int flags = ::fcntl(fds[0], F_GETFL, 0);
+        ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+        auto now = SteadyClock::now();
+        auto deadline =
+            opts.timeoutSec > 0
+                ? now + std::chrono::duration_cast<
+                            SteadyClock::duration>(
+                            std::chrono::duration<double>(
+                                opts.timeoutSec))
+                : SteadyClock::time_point::max();
+        live.push_back(Worker{pid, fds[0], p.index, p.attempt, {},
+                              now, deadline, false});
+    };
+
+    // Reap the worker, classify the outcome, and either re-queue the
+    // point for a retry or finalize it (journal + cache + batch).
+    auto finalize = [&](Worker &w) {
+        int wstatus = 0;
+        while (::waitpid(w.pid, &wstatus, 0) < 0 && errno == EINTR) {}
+        ::close(w.fd);
+        std::chrono::duration<double> attempt_secs =
+            SteadyClock::now() - w.started;
+
+        SweepResult res;
+        res.point = queued[w.index];
+        res.configHash = batch[w.index].configHash;
+        res.attempts = w.attempt;
+        res.hostSeconds = attempt_secs.count();
+        if (w.timedOut) {
+            res.status = PointStatus::Timeout;
+            char buf[64];
+            std::snprintf(buf, sizeof(buf),
+                          "timed out after %.1fs", opts.timeoutSec);
+            res.error = buf;
+        } else if (WIFSIGNALED(wstatus)) {
+            res.status = PointStatus::Signal;
+            res.error = std::string("killed by signal ") +
+                        std::to_string(WTERMSIG(wstatus));
+        } else if (WIFEXITED(wstatus) &&
+                   WEXITSTATUS(wstatus) != 0) {
+            res.status = PointStatus::NonzeroExit;
+            res.error = "exited with status " +
+                        std::to_string(WEXITSTATUS(wstatus));
+        } else {
+            // Clean exit: the single wire line is the result.
+            std::string line = w.buf;
+            while (!line.empty() && (line.back() == '\n' ||
+                                     line.back() == '\r'))
+                line.pop_back();
+            SweepResult parsed;
+            std::string perr;
+            if (parseWireResult(line, parsed, perr)) {
+                res.run = std::move(parsed.run);
+                res.status = parsed.status;
+                res.error = parsed.error;
+                res.hostSeconds = parsed.hostSeconds;
+            } else {
+                res.status = PointStatus::Garbage;
+                res.error = "unparseable worker output: " + perr;
+            }
+        }
+
+        if (!res.ok() && pointStatusRetryable(res.status) &&
+            w.attempt <= opts.retries) {
+            double delay = backoffSeconds(w.attempt);
+            std::fprintf(stderr,
+                         "cpxbench: point '%s' %s (%s); retry %u/%u "
+                         "in %.2gs\n",
+                         queued[w.index].app.c_str(),
+                         pointStatusName(res.status),
+                         res.error.c_str(), w.attempt, opts.retries,
+                         delay);
+            pending.push_back(
+                {w.index, w.attempt + 1,
+                 SteadyClock::now() +
+                     std::chrono::duration_cast<
+                         SteadyClock::duration>(
+                         std::chrono::duration<double>(delay))});
+            return;
+        }
+
+        journalAppend(res);
+        cacheStore(res);
+        ++executed;
+        batch[w.index] = std::move(res);
+        report_progress(batch[w.index]);
+    };
+
+    while ((!pending.empty() || !live.empty()) && !g_stopRequested) {
+        auto now = SteadyClock::now();
+
+        // Dispatch pending points whose backoff has elapsed.
+        while (live.size() < jobs && !pending.empty()) {
+            auto ready = pending.end();
+            for (auto it = pending.begin(); it != pending.end(); ++it)
+                if (it->readyAt <= now) {
+                    ready = it;
+                    break;
+                }
+            if (ready == pending.end())
+                break;
+            Pending p = *ready;
+            pending.erase(ready);
+            spawn(p);
+        }
+
+        // How long may we sleep? Until the nearest worker deadline
+        // or pending retry, capped so ticker math stays fresh.
+        auto wake = now + std::chrono::milliseconds(500);
+        for (const Worker &w : live)
+            wake = std::min(wake, w.deadline);
+        for (const Pending &p : pending)
+            if (live.size() < jobs)
+                wake = std::min(wake, p.readyAt);
+        int timeout_ms = static_cast<int>(std::max<std::int64_t>(
+            0, std::chrono::duration_cast<std::chrono::milliseconds>(
+                   wake - now)
+                   .count()));
+
+        if (live.empty()) {
+            ::poll(nullptr, 0, timeout_ms);
+            continue;
+        }
+
+        std::vector<pollfd> fds(live.size());
+        for (std::size_t i = 0; i < live.size(); ++i)
+            fds[i] = pollfd{live[i].fd, POLLIN, 0};
+        int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+        if (rc < 0 && errno != EINTR)
+            fatal("poll: %s", std::strerror(errno));
+
+        // Drain readable pipes; EOF means the worker is done.
+        for (std::size_t i = 0; i < live.size();) {
+            bool eof = false;
+            if (rc > 0 && (fds[i].revents & (POLLIN | POLLHUP))) {
+                char buf[65536];
+                for (;;) {
+                    ssize_t n = ::read(live[i].fd, buf, sizeof(buf));
+                    if (n > 0) {
+                        live[i].buf.append(buf, n);
+                        continue;
+                    }
+                    if (n == 0)
+                        eof = true;
+                    break;
+                }
+            }
+            if (eof) {
+                finalize(live[i]);
+                fds.erase(fds.begin() + i);
+                live.erase(live.begin() + i);
+            } else {
+                ++i;
+            }
+        }
+
+        // Enforce deadlines: SIGKILL, then let the EOF path reap.
+        now = SteadyClock::now();
+        for (Worker &w : live) {
+            if (!w.timedOut && now >= w.deadline) {
+                w.timedOut = true;
+                ::kill(w.pid, SIGKILL);
+            }
+        }
+    }
+
+    if (g_stopRequested) {
+        interruptedFlag = true;
+        for (Worker &w : live) {
+            ::kill(w.pid, SIGKILL);
+            int wstatus = 0;
+            while (::waitpid(w.pid, &wstatus, 0) < 0 &&
+                   errno == EINTR) {}
+            ::close(w.fd);
+        }
+        live.clear();
+        std::fprintf(stderr,
+                     "\ncpxbench: interrupted — %zu/%zu point(s) "
+                     "completed%s\n",
+                     completed, todo.size(),
+                     opts.journalPath.empty()
+                         ? ""
+                         : "; journaled work is resumable with "
+                           "--resume");
+    }
+
+    sigaction(SIGINT, &old_int, nullptr);
+    sigaction(SIGTERM, &old_term, nullptr);
+}
+
+const SweepResult &
+SweepRunner::operator[](std::size_t handle) const
+{
+    if (handle >= done.size())
+        fatal("sweep handle %zu not run yet (did you call "
+              "runAll()?)",
+              handle);
+    return done[handle];
+}
+
+// --- JSON output -----------------------------------------------------------
 
 void
 writeJson(const std::string &path, const std::string &suite,
@@ -299,7 +1071,15 @@ writeJson(const std::string &path, const std::string &suite,
         out << "      \"app\": " << str(r.point.app) << ",\n";
         out << "      \"config\": {"
             << "\"protocol\": " << str(p.protocol.name()) << ", "
-            << "\"consistency\": " << str(s.consistency) << ", "
+            << "\"consistency\": "
+            << str(r.ok() ? s.consistency
+                          : std::string(
+                                p.consistency ==
+                                        Consistency::
+                                            SequentialConsistency
+                                    ? "SC"
+                                    : "RC"))
+            << ", "
             << "\"network\": " << str(networkName(p)) << ", "
             << "\"procs\": " << p.numProcs << ", "
             << "\"scale\": " << jsonNumber(r.point.scale) << ", "
@@ -308,6 +1088,26 @@ writeJson(const std::string &path, const std::string &suite,
             << "\"threshold\": " << p.competitiveThreshold << ", "
             << "\"writeCache\": "
             << (p.writeCacheEnabled ? "true" : "false") << "},\n";
+        // New members ride as siblings of the gated stats fields so
+        // a pre-existing baseline stays comparable (see the gated[]
+        // list in compareToBaseline).
+        if (!r.configHash.empty())
+            out << "      \"configHash\": " << str(r.configHash)
+                << ",\n";
+        out << "      \"status\": "
+            << str(pointStatusName(r.status)) << ",\n";
+        out << "      \"attempts\": " << r.attempts << ",\n";
+        if (!r.ok()) {
+            // Failed point: no stats were produced (or none that can
+            // be trusted) — record the classification and move on so
+            // a partially-failed suite still yields a valid file.
+            out << "      \"error\": " << str(r.error) << ",\n";
+            out << "      \"verified\": false,\n";
+            out << "      \"hostSeconds\": "
+                << jsonNumber(r.hostSeconds) << "\n";
+            out << "    }";
+            continue;
+        }
         out << "      \"verified\": "
             << (r.run.verified ? "true" : "false") << ",\n";
         out << "      \"execTime\": "
@@ -429,12 +1229,12 @@ writeJson(const std::string &path, const std::string &suite,
     }
     out << "\n  ]\n}\n";
 
-    std::ofstream file(path, std::ios::binary | std::ios::trunc);
-    if (!file)
-        fatal("cannot write JSON results to '%s'", path.c_str());
-    file << out.str();
-    if (!file.flush())
-        fatal("short write to '%s'", path.c_str());
+    // Atomic replace (tmp + fsync + rename): a crash mid-write must
+    // never leave a torn results file behind to poison a later
+    // --baseline comparison.
+    std::string error;
+    if (!atomicWriteFile(path, out.str(), ".tmp", error))
+        fatal("%s", error.c_str());
 }
 
 // --- JSON reader -----------------------------------------------------------
@@ -653,6 +1453,10 @@ struct JsonParser
         out.number = std::strtod(num.c_str(), &end);
         if (!end || *end != '\0')
             return fail("malformed number '" + num + "'");
+        // Keep the raw token: integer consumers (the subprocess wire
+        // format) reread it with strtoull so values beyond 2^53
+        // survive exactly; the double above is lossy there.
+        out.text = std::move(num);
         return true;
     }
 };
@@ -677,7 +1481,8 @@ parseJson(const std::string &text, JsonValue &out, std::string &error)
 }
 
 bool
-validateResultsFile(const std::string &path, std::string &error)
+validateResultsFile(const std::string &path, std::string &error,
+                    bool allow_failed)
 {
     std::ifstream file(path, std::ios::binary);
     if (!file) {
@@ -704,19 +1509,42 @@ validateResultsFile(const std::string &path, std::string &error)
         error = path + ": no sweep points recorded";
         return false;
     }
+    std::string failed;
     for (const JsonValue &point : doc.at("points").items) {
         if (point.kind != JsonValue::Kind::Object ||
             !point.has("verified") || !point.has("app") ||
-            !point.has("config") || !point.has("execTime")) {
+            !point.has("config")) {
+            error = path + ": malformed sweep point";
+            return false;
+        }
+        // Points carry a "status" since the fault-isolation work;
+        // files written before then are all-ok by construction.
+        const std::string status =
+            point.has("status") ? point.at("status").text
+                                : std::string("ok");
+        if (status != "ok") {
+            if (!point.has("error")) {
+                error = path + ": failed point without an error "
+                        "message";
+                return false;
+            }
+            failed += "\n  [" + status + "] '" +
+                      (point.has("tag") ? point.at("tag").text
+                                        : std::string()) +
+                      "' app=" + point.at("app").text + ": " +
+                      point.at("error").text;
+            continue;
+        }
+        if (!point.has("execTime")) {
             error = path + ": malformed sweep point";
             return false;
         }
         if (!point.at("verified").boolean) {
-            error = path + ": unverified sweep point '" +
-                    (point.has("tag") ? point.at("tag").text
-                                      : std::string()) +
-                    "' app=" + point.at("app").text;
-            return false;
+            failed += "\n  [unverified] '" +
+                      (point.has("tag") ? point.at("tag").text
+                                        : std::string()) +
+                      "' app=" + point.at("app").text;
+            continue;
         }
         // The timeseries block is optional (only sampled runs carry
         // it), but when present it must be structurally sound: a
@@ -757,6 +1585,10 @@ validateResultsFile(const std::string &path, std::string &error)
                 }
             }
         }
+    }
+    if (!failed.empty() && !allow_failed) {
+        error = path + ": failed sweep point(s):" + failed;
+        return false;
     }
     return true;
 }
@@ -936,6 +1768,11 @@ compareToBaseline(const std::string &path,
         "execTime", "breakdown", "misses", "traffic",
         "protocolEvents", "latency", "timeseries",
     };
+    // Collect every divergent point (with its config hash, so the
+    // culprit can be re-run or evicted from a result cache by name)
+    // instead of bailing at the first: one look at the message shows
+    // whether a drift is a single config or systemic.
+    std::vector<std::string> diffs;
     for (std::size_t i = 0; i < cur_pts.size(); ++i) {
         const JsonValue &c = cur_pts[i];
         const JsonValue &b = base_pts[i];
@@ -944,12 +1781,29 @@ compareToBaseline(const std::string &path,
             const bool in_b = b.has(field);
             if (in_c != in_b ||
                 (in_c && !jsonEquals(c.at(field), b.at(field)))) {
-                error = path + ": point " + std::to_string(i) + " (" +
-                        pointLabel(c) + ") drifted from baseline in '" +
-                        field + "'";
-                return false;
+                std::string hash =
+                    c.has("configHash") ? c.at("configHash").text
+                                        : std::string("?");
+                diffs.push_back("point " + std::to_string(i) + " (" +
+                                pointLabel(c) + ", hash=" + hash +
+                                ") drifted in '" + field + "'");
+                break;
             }
         }
+    }
+    if (!diffs.empty()) {
+        constexpr std::size_t max_listed = 40;
+        error = path + ": " + std::to_string(diffs.size()) +
+                " point(s) drifted from baseline " + baseline_path +
+                ":";
+        for (std::size_t i = 0;
+             i < diffs.size() && i < max_listed; ++i)
+            error += "\n  " + diffs[i];
+        if (diffs.size() > max_listed)
+            error += "\n  … and " +
+                     std::to_string(diffs.size() - max_listed) +
+                     " more";
+        return false;
     }
 
     if (cur.has("eventsPerSec") && base.has("eventsPerSec")) {
@@ -1018,6 +1872,569 @@ printPerfSummary(const std::string &path, std::string &error)
     return true;
 }
 
+// --- subprocess wire format (cpx-wire-1) -----------------------------------
+//
+// One JSON object per line; a worker writes exactly one before
+// exiting, and the journal is a sequence of them. Every stat is
+// carried at full fidelity — u64 counters as exact decimal integers
+// (reread with strtoull, not through a double), doubles as %.17g
+// (round-trips exactly) — so a result that crossed the pipe or was
+// reloaded from a journal is bit-identical to one computed in
+// process.
+
+namespace
+{
+
+bool
+pointStatusFromName(const std::string &name, PointStatus &out)
+{
+    static const PointStatus all[] = {
+        PointStatus::NotRun,      PointStatus::Ok,
+        PointStatus::NonzeroExit, PointStatus::Signal,
+        PointStatus::Timeout,     PointStatus::InvariantFailure,
+        PointStatus::Garbage,
+    };
+    for (PointStatus s : all) {
+        if (name == pointStatusName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+serializeHistogram(std::ostringstream &out, const Histogram &h)
+{
+    const Accumulator &a = h.summary();
+    out << "{\"buckets\":[";
+    const auto &counts = h.bucketCounts();
+    std::size_t last = counts.size();
+    while (last > 0 && counts[last - 1] == 0)
+        --last;
+    for (std::size_t b = 0; b < last; ++b)
+        out << (b ? "," : "") << jsonNumber(counts[b]);
+    out << "],\"overflow\":" << jsonNumber(h.overflowCount())
+        << ",\"count\":" << jsonNumber(a.count())
+        << ",\"sum\":" << jsonNumber(a.sum())
+        << ",\"min\":" << jsonNumber(a.min())
+        << ",\"max\":" << jsonNumber(a.max()) << "}";
+}
+
+/**
+ * Field accessors over a parsed wire object that collect the first
+ * missing/mistyped member into @p error instead of fatal()ing like
+ * JsonValue::at — a corrupt journal line must be reportable, not a
+ * process abort.
+ */
+struct WireReader
+{
+    const JsonValue &obj;
+    std::string &error;
+    bool ok = true;
+
+    const JsonValue *
+    get(const char *key, JsonValue::Kind kind)
+    {
+        if (!ok)
+            return nullptr;
+        auto it = obj.members.find(key);
+        if (it == obj.members.end() || it->second.kind != kind) {
+            error = std::string("missing or mistyped '") + key + "'";
+            ok = false;
+            return nullptr;
+        }
+        return &it->second;
+    }
+
+    double
+    num(const char *key)
+    {
+        const JsonValue *v = get(key, JsonValue::Kind::Number);
+        return v ? v->number : 0.0;
+    }
+
+    std::uint64_t
+    u64(const char *key)
+    {
+        const JsonValue *v = get(key, JsonValue::Kind::Number);
+        return v ? jsonU64(*v) : 0;
+    }
+
+    std::string
+    str(const char *key)
+    {
+        const JsonValue *v = get(key, JsonValue::Kind::String);
+        return v ? v->text : std::string();
+    }
+
+    bool
+    boolean(const char *key)
+    {
+        const JsonValue *v = get(key, JsonValue::Kind::Bool);
+        return v && v->boolean;
+    }
+};
+
+bool
+parseHistogram(const JsonValue &v, Histogram &h, std::string &error)
+{
+    if (v.kind != JsonValue::Kind::Object) {
+        error = "histogram is not an object";
+        return false;
+    }
+    WireReader r{v, error};
+    const JsonValue *buckets =
+        r.get("buckets", JsonValue::Kind::Array);
+    std::uint64_t overflow = r.u64("overflow");
+    std::uint64_t count = r.u64("count");
+    double sum = r.num("sum"), min = r.num("min"),
+           max = r.num("max");
+    if (!r.ok)
+        return false;
+    std::vector<std::uint64_t> counts;
+    counts.reserve(buckets->items.size());
+    for (const JsonValue &item : buckets->items) {
+        if (item.kind != JsonValue::Kind::Number) {
+            error = "non-numeric histogram bucket";
+            return false;
+        }
+        counts.push_back(jsonU64(item));
+    }
+    Accumulator acc;
+    acc.restore(count, sum, min, max);
+    if (!h.restore(counts, overflow, acc)) {
+        error = "histogram geometry mismatch (" +
+                std::to_string(counts.size()) + " buckets)";
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+std::string
+serializeWireResult(const SweepResult &res)
+{
+    std::ostringstream out;
+    auto str = [](const std::string &s) {
+        return "\"" + jsonEscape(s) + "\"";
+    };
+    out << "{\"schema\":\"cpx-wire-1\""
+        << ",\"hash\":" << str(res.configHash)
+        << ",\"status\":" << str(pointStatusName(res.status))
+        << ",\"error\":" << str(res.error)
+        << ",\"attempts\":" << res.attempts
+        << ",\"hostSeconds\":" << jsonNumber(res.hostSeconds);
+
+    // Only outcomes that actually produced stats carry the payload;
+    // crash/timeout/garbage records are classification-only.
+    const bool payload = res.status == PointStatus::Ok ||
+                         res.status == PointStatus::InvariantFailure;
+    if (payload) {
+        const RunResult &s = res.run.stats;
+        out << ",\"execTime\":"
+            << jsonNumber(static_cast<std::uint64_t>(res.run.execTime))
+            << ",\"verified\":"
+            << (res.run.verified ? "true" : "false");
+        out << ",\"stats\":{"
+            << "\"protocol\":" << str(s.protocol)
+            << ",\"consistency\":" << str(s.consistency)
+            << ",\"execTime\":"
+            << jsonNumber(static_cast<std::uint64_t>(s.execTime))
+            << ",\"busy\":" << jsonNumber(s.busy)
+            << ",\"readStall\":" << jsonNumber(s.readStall)
+            << ",\"writeStall\":" << jsonNumber(s.writeStall)
+            << ",\"acquireStall\":" << jsonNumber(s.acquireStall)
+            << ",\"releaseStall\":" << jsonNumber(s.releaseStall)
+            << ",\"sharedAccesses\":" << jsonNumber(s.sharedAccesses)
+            << ",\"coldReadMisses\":" << jsonNumber(s.coldReadMisses)
+            << ",\"cohReadMisses\":" << jsonNumber(s.cohReadMisses)
+            << ",\"replReadMisses\":" << jsonNumber(s.replReadMisses)
+            << ",\"writeMissesTotal\":"
+            << jsonNumber(s.writeMissesTotal)
+            << ",\"netBytes\":" << jsonNumber(s.netBytes)
+            << ",\"netMessages\":" << jsonNumber(s.netMessages);
+        out << ",\"classBytes\":[";
+        constexpr unsigned num_classes =
+            static_cast<unsigned>(MsgClass::NumClasses);
+        for (unsigned k = 0; k < num_classes; ++k)
+            out << (k ? "," : "") << jsonNumber(s.classBytes[k]);
+        out << "]";
+        out << ",\"ownershipRequests\":"
+            << jsonNumber(s.ownershipRequests)
+            << ",\"invalidationsSent\":"
+            << jsonNumber(s.invalidationsSent)
+            << ",\"updatesForwarded\":"
+            << jsonNumber(s.updatesForwarded)
+            << ",\"migratoryDetections\":"
+            << jsonNumber(s.migratoryDetections)
+            << ",\"prefetchesIssued\":"
+            << jsonNumber(s.prefetchesIssued)
+            << ",\"prefetchesUseful\":"
+            << jsonNumber(s.prefetchesUseful)
+            << ",\"softwarePrefetches\":"
+            << jsonNumber(s.softwarePrefetches)
+            << ",\"combinedWrites\":" << jsonNumber(s.combinedWrites)
+            << ",\"counterInvalidations\":"
+            << jsonNumber(s.counterInvalidations)
+            << ",\"avgReadMissLatency\":"
+            << jsonNumber(s.avgReadMissLatency);
+        out << ",\"readMissLatency\":";
+        serializeHistogram(out, s.readMissLatency);
+        out << ",\"ownershipLatency\":";
+        serializeHistogram(out, s.ownershipLatency);
+        out << ",\"prefetchFillLatency\":";
+        serializeHistogram(out, s.prefetchFillLatency);
+        out << ",\"eventsExecuted\":" << jsonNumber(s.eventsExecuted)
+            << ",\"peakPendingEvents\":"
+            << jsonNumber(s.peakPendingEvents)
+            << ",\"scheduleAllocs\":"
+            << jsonNumber(s.scheduleAllocs);
+        if (!s.timeseries.empty()) {
+            const MetricTimeSeries &ts = s.timeseries;
+            out << ",\"timeseries\":{\"interval\":"
+                << jsonNumber(static_cast<std::uint64_t>(ts.interval))
+                << ",\"metrics\":[";
+            for (std::size_t m = 0; m < ts.names.size(); ++m)
+                out << (m ? "," : "") << str(ts.names[m]);
+            out << "],\"ticks\":[";
+            for (std::size_t i = 0; i < ts.ticks.size(); ++i)
+                out << (i ? "," : "")
+                    << jsonNumber(
+                           static_cast<std::uint64_t>(ts.ticks[i]));
+            out << "],\"deltas\":[";
+            for (std::size_t i = 0; i < ts.deltas.size(); ++i)
+                out << (i ? "," : "") << jsonNumber(ts.deltas[i]);
+            out << "]}";
+        }
+        out << "}";
+    }
+    out << "}";
+    return out.str();
+}
+
+bool
+parseWireResult(const std::string &line, SweepResult &out,
+                std::string &error)
+{
+    JsonValue doc;
+    if (!parseJson(line, doc, error))
+        return false;
+    if (doc.kind != JsonValue::Kind::Object || !doc.has("schema") ||
+        doc.at("schema").kind != JsonValue::Kind::String ||
+        doc.at("schema").text != "cpx-wire-1") {
+        error = "missing cpx-wire-1 schema marker";
+        return false;
+    }
+
+    out = SweepResult{};
+    WireReader top{doc, error};
+    out.configHash = top.str("hash");
+    std::string status_name = top.str("status");
+    out.error = top.str("error");
+    out.attempts = static_cast<unsigned>(top.u64("attempts"));
+    out.hostSeconds = top.num("hostSeconds");
+    if (!top.ok)
+        return false;
+    if (!pointStatusFromName(status_name, out.status)) {
+        error = "unknown status '" + status_name + "'";
+        return false;
+    }
+
+    const bool payload = out.status == PointStatus::Ok ||
+                         out.status == PointStatus::InvariantFailure;
+    if (!payload)
+        return true;
+
+    out.run.execTime = static_cast<Tick>(top.u64("execTime"));
+    out.run.verified = top.boolean("verified");
+    const JsonValue *stats_v =
+        top.get("stats", JsonValue::Kind::Object);
+    if (!top.ok)
+        return false;
+
+    RunResult &s = out.run.stats;
+    WireReader r{*stats_v, error};
+    s.protocol = r.str("protocol");
+    s.consistency = r.str("consistency");
+    s.execTime = static_cast<Tick>(r.u64("execTime"));
+    s.busy = r.num("busy");
+    s.readStall = r.num("readStall");
+    s.writeStall = r.num("writeStall");
+    s.acquireStall = r.num("acquireStall");
+    s.releaseStall = r.num("releaseStall");
+    s.sharedAccesses = r.u64("sharedAccesses");
+    s.coldReadMisses = r.u64("coldReadMisses");
+    s.cohReadMisses = r.u64("cohReadMisses");
+    s.replReadMisses = r.u64("replReadMisses");
+    s.writeMissesTotal = r.u64("writeMissesTotal");
+    s.netBytes = r.u64("netBytes");
+    s.netMessages = r.u64("netMessages");
+    s.ownershipRequests = r.u64("ownershipRequests");
+    s.invalidationsSent = r.u64("invalidationsSent");
+    s.updatesForwarded = r.u64("updatesForwarded");
+    s.migratoryDetections = r.u64("migratoryDetections");
+    s.prefetchesIssued = r.u64("prefetchesIssued");
+    s.prefetchesUseful = r.u64("prefetchesUseful");
+    s.softwarePrefetches = r.u64("softwarePrefetches");
+    s.combinedWrites = r.u64("combinedWrites");
+    s.counterInvalidations = r.u64("counterInvalidations");
+    s.avgReadMissLatency = r.num("avgReadMissLatency");
+    s.eventsExecuted = r.u64("eventsExecuted");
+    s.peakPendingEvents = r.u64("peakPendingEvents");
+    s.scheduleAllocs = r.u64("scheduleAllocs");
+    const JsonValue *class_bytes =
+        r.get("classBytes", JsonValue::Kind::Array);
+    if (!r.ok)
+        return false;
+    constexpr unsigned num_classes =
+        static_cast<unsigned>(MsgClass::NumClasses);
+    if (class_bytes->items.size() != num_classes) {
+        error = "classBytes has " +
+                std::to_string(class_bytes->items.size()) +
+                " entries, expected " + std::to_string(num_classes);
+        return false;
+    }
+    for (unsigned k = 0; k < num_classes; ++k)
+        s.classBytes[k] = jsonU64(class_bytes->items[k]);
+
+    const std::pair<const char *, Histogram *> hists[] = {
+        {"readMissLatency", &s.readMissLatency},
+        {"ownershipLatency", &s.ownershipLatency},
+        {"prefetchFillLatency", &s.prefetchFillLatency},
+    };
+    for (auto [key, hist] : hists) {
+        const JsonValue *v = r.get(key, JsonValue::Kind::Object);
+        if (!r.ok)
+            return false;
+        if (!parseHistogram(*v, *hist, error))
+            return false;
+    }
+
+    if (stats_v->has("timeseries")) {
+        const JsonValue &ts_v = stats_v->at("timeseries");
+        if (ts_v.kind != JsonValue::Kind::Object) {
+            error = "timeseries is not an object";
+            return false;
+        }
+        WireReader t{ts_v, error};
+        MetricTimeSeries &ts = s.timeseries;
+        ts.interval = static_cast<Tick>(t.u64("interval"));
+        const JsonValue *metrics =
+            t.get("metrics", JsonValue::Kind::Array);
+        const JsonValue *ticks =
+            t.get("ticks", JsonValue::Kind::Array);
+        const JsonValue *deltas =
+            t.get("deltas", JsonValue::Kind::Array);
+        if (!t.ok)
+            return false;
+        for (const JsonValue &name : metrics->items)
+            ts.names.push_back(name.text);
+        for (const JsonValue &tick : ticks->items)
+            ts.ticks.push_back(static_cast<Tick>(jsonU64(tick)));
+        for (const JsonValue &d : deltas->items)
+            ts.deltas.push_back(jsonU64(d));
+        if (ts.names.empty() ||
+            ts.deltas.size() != ts.ticks.size() * ts.names.size()) {
+            error = "ragged timeseries in wire record";
+            return false;
+        }
+    }
+    return true;
+}
+
+JournalLoad
+loadJournal(const std::string &path)
+{
+    JournalLoad load;
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return load;
+    std::ofstream quarantine;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(file, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        SweepResult res;
+        std::string err;
+        if (!parseWireResult(line, res, err)) {
+            // A corrupt or truncated line (e.g. a crash mid-append on
+            // a filesystem without ordered data) is preserved in a
+            // sidecar, never silently dropped: losing a record is
+            // recoverable, hiding the corruption is not.
+            if (!quarantine.is_open()) {
+                load.quarantineFile = path + ".quarantine";
+                quarantine.open(load.quarantineFile,
+                                std::ios::binary | std::ios::app);
+            }
+            quarantine << line << "\n";
+            ++load.quarantined;
+            std::fprintf(stderr,
+                         "cpxbench: %s:%zu: corrupt journal line "
+                         "(%s)\n",
+                         path.c_str(), lineno, err.c_str());
+            continue;
+        }
+        res.source = ResultSource::Journal;
+        load.byHash[res.configHash] = std::move(res);
+        ++load.entries;
+    }
+    return load;
+}
+
+// --- fault-injection self-test ---------------------------------------------
+
+int
+runFaultSelfTest(const Options &base)
+{
+    char tmpl[] = "/tmp/cpx-selftest-XXXXXX";
+    if (!::mkdtemp(tmpl)) {
+        std::fprintf(stderr, "self-test: mkdtemp: %s\n",
+                     std::strerror(errno));
+        return 1;
+    }
+    const std::string dir = tmpl;
+
+    // Small, fast grid parameters; the self-test exercises the
+    // supervisor, not the simulator.
+    Options opts = base;
+    opts.isolate = IsolateMode::Process;
+    opts.scale = std::min(opts.scale, 0.2);
+    opts.procs = 4;
+    opts.retries = 0;
+    if (opts.timeoutSec <= 0)
+        opts.timeoutSec = 5.0;
+    if (opts.jobs == 0)
+        opts.jobs = 4;
+    MachineParams params;
+
+    int failures = 0;
+    auto check = [&](bool cond, const char *what) {
+        std::printf("  %s: %s\n", cond ? "ok" : "FAIL", what);
+        if (!cond)
+            ++failures;
+    };
+
+    std::printf("[1/4] outcome classification under --isolate="
+                "process\n");
+    std::size_t h_crash, h_exit, h_hang, h_garbage, h_unverified,
+        h_ok;
+    {
+        Options o = opts;
+        o.journalPath = dir + "/classify.jsonl";
+        SweepRunner runner(o);
+        h_crash = runner.add(faultAppCrash, params, "crash");
+        h_exit = runner.add(faultAppExit, params, "exit");
+        h_hang = runner.add(faultAppHang, params, "hang");
+        h_garbage = runner.add(faultAppGarbage, params, "garbage");
+        h_unverified =
+            runner.add(faultAppUnverified, params, "unverified");
+        h_ok = runner.add("migratory", params, "healthy");
+        runner.runAll();
+        check(runner[h_crash].status == PointStatus::Signal,
+              "crashing worker classified as signal");
+        check(runner[h_exit].status == PointStatus::NonzeroExit,
+              "exiting worker classified as nonzero-exit");
+        check(runner[h_hang].status == PointStatus::Timeout,
+              "hanging worker classified as timeout");
+        check(runner[h_garbage].status == PointStatus::Garbage,
+              "garbage-emitting worker classified as garbage");
+        check(runner[h_unverified].status ==
+                  PointStatus::InvariantFailure,
+              "unverified worker classified as invariant-failure");
+        check(runner[h_ok].ok(), "healthy point completed ok");
+        check(runner.failedCount() == 5,
+              "exactly the five injected faults failed");
+    }
+
+    std::printf("[2/4] transient-failure retry\n");
+    {
+        Options o = opts;
+        o.retries = 1;
+        const std::string marker = dir + "/flaky.marker";
+        ::setenv(flakyMarkerEnv, marker.c_str(), 1);
+        SweepRunner runner(o);
+        std::size_t h = runner.add(faultAppFlaky, params, "flaky");
+        runner.runAll();
+        ::unsetenv(flakyMarkerEnv);
+        std::remove(marker.c_str());
+        check(runner[h].ok(), "flaky point succeeded after retry");
+        check(runner[h].attempts == 2,
+              "flaky point took exactly two attempts");
+    }
+
+    std::printf("[3/4] subprocess stats bit-identical to "
+                "in-process\n");
+    const char *apps[] = {"migratory", "producer_consumer",
+                          "false_sharing"};
+    // hostSeconds is the one legitimately host-dependent field;
+    // everything else must match to the bit.
+    auto wire_no_host = [](SweepResult r) {
+        r.hostSeconds = 0;
+        return serializeWireResult(r);
+    };
+    {
+        Options in = opts;
+        in.isolate = IsolateMode::None;
+        in.timeoutSec = 0;
+        SweepRunner r_in(in);
+        SweepRunner r_proc(opts);
+        for (const char *app : apps) {
+            r_in.add(app, params, app);
+            r_proc.add(app, params, app);
+        }
+        r_in.runAll();
+        r_proc.runAll();
+        bool identical = true;
+        for (std::size_t i = 0; i < 3; ++i)
+            identical = identical && wire_no_host(r_in[i]) ==
+                                         wire_no_host(r_proc[i]);
+        check(identical,
+              "all healthy points bit-identical across modes");
+    }
+
+    std::printf("[4/4] journal resume skips completed points\n");
+    {
+        Options first = opts;
+        first.journalPath = dir + "/resume.jsonl";
+        SweepRunner r1(first);
+        for (const char *app : apps)
+            r1.add(app, params, app);
+        r1.runAll();
+        check(r1.executedCount() == 3, "first run executed all");
+
+        Options second = first;
+        second.resumePath = first.journalPath;
+        SweepRunner r2(second);
+        for (const char *app : apps)
+            r2.add(app, params, app);
+        r2.runAll();
+        check(r2.executedCount() == 0,
+              "resumed run re-executed nothing");
+        bool identical = true;
+        for (std::size_t i = 0; i < 3; ++i)
+            identical = identical && wire_no_host(r1[i]) ==
+                                         wire_no_host(r2[i]);
+        check(identical, "resumed stats identical to first run");
+    }
+
+    // Best-effort cleanup of the scratch dir.
+    for (const char *name :
+         {"classify.jsonl", "flaky.marker", "resume.jsonl"})
+        std::remove((dir + "/" + name).c_str());
+    ::rmdir(dir.c_str());
+
+    if (failures) {
+        std::printf("self-test: %d check(s) FAILED\n", failures);
+        return 1;
+    }
+    std::printf("self-test: all checks passed\n");
+    return 0;
+}
+
 // --- bench-module registry -------------------------------------------------
 
 namespace
@@ -1055,11 +2472,24 @@ standaloneMain(int argc, char **argv, const BenchDef &def)
     SweepRunner runner(opts);
     RenderFn render = def.setup(runner, opts);
     runner.runAll();
+    if (runner.interrupted()) {
+        // Completed points are journaled; nothing else is
+        // trustworthy enough to render or write.
+        return exitCodeInterrupted;
+    }
     if (render)
         render();
     if (!opts.jsonPath.empty())
         writeJson(opts.jsonPath, def.name, opts, runner.results(),
                   runner.totalHostSeconds());
+    if (runner.anyFailed()) {
+        std::fprintf(stderr,
+                     "%s: %zu sweep point(s) failed:%s\n",
+                     std::string(def.name).c_str(),
+                     runner.failedCount(),
+                     runner.failureSummary().c_str());
+        return exitCodePointsFailed;
+    }
     return 0;
 }
 

@@ -31,6 +31,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,15 @@
 
 namespace cpx::bench
 {
+
+/** How sweep points execute (DESIGN.md §14). */
+enum class IsolateMode
+{
+    None,     //!< in-process thread pool (fast path; a fatal() or
+              //!< crash in any point kills the whole suite)
+    Process,  //!< one forked worker subprocess per point: crashes,
+              //!< hangs and garbage become per-point outcomes
+};
 
 /** Harness-wide options shared by every bench target. */
 struct Options
@@ -49,15 +59,27 @@ struct Options
     std::uint64_t seed = 1;   //!< workload seed (seeded workloads only)
     std::string jsonPath;     //!< --json=PATH; empty = no JSON output
     Tick sampleInterval = 0;  //!< interval-metrics period; 0 = off
+
+    // --- fault isolation (DESIGN.md §14) -----------------------------
+    IsolateMode isolate = IsolateMode::None;
+    double timeoutSec = 0;    //!< per-attempt wall-clock deadline;
+                              //!< 0 = none (process mode only)
+    unsigned retries = 1;     //!< extra attempts for transient
+                              //!< failures (process mode only)
+    std::string journalPath;  //!< append-only JSONL outcome journal
+    std::string resumePath;   //!< journal to resume from (skip done)
+    std::string cachePath;    //!< content-addressed result cache dir
 };
 
 /**
  * Parse the options every bench binary accepts:
  *   --scale=F --procs=N --jobs=N --seed=N --json=PATH
- *   --sample-interval=N
+ *   --sample-interval=N --isolate=none|process --timeout=SECONDS
+ *   --retries=N --journal=PATH --resume=PATH --cache=DIR
  * (CPX_SCALE in the environment seeds the default scale.)
  * Numbers are checked: malformed values, trailing garbage and zero
- * procs/jobs are fatal.
+ * procs/jobs are fatal. --resume implies --journal at the same path
+ * unless one was given explicitly.
  */
 Options parseOptions(int argc, char **argv);
 
@@ -71,13 +93,64 @@ struct SweepPoint
     std::uint64_t seed = 1;
 };
 
+/**
+ * Outcome classification of one sweep point (DESIGN.md §14). A point
+ * is a datum even when it fails: the suite completes, the failure is
+ * reported per point, and the exit-code policy distinguishes
+ * "completed with failures" from "died".
+ */
+enum class PointStatus
+{
+    NotRun,           //!< never dispatched (interrupted run)
+    Ok,               //!< completed, verified
+    NonzeroExit,      //!< worker exited with a nonzero status
+    Signal,           //!< worker died on a signal (crash/abort)
+    Timeout,          //!< worker exceeded the wall-clock deadline
+    InvariantFailure, //!< simulation completed but failed verification
+    Garbage,          //!< worker exited 0 but emitted unparseable
+                      //!< output
+};
+
+/** Stable lower-case name ("ok", "signal", ...) for JSON/logs. */
+const char *pointStatusName(PointStatus status);
+
+/** True for failure classes worth retrying (host-transient). */
+bool pointStatusRetryable(PointStatus status);
+
+/** Where a finished result came from. */
+enum class ResultSource
+{
+    Executed,  //!< ran in this process (or a worker it forked)
+    Journal,   //!< reused from a --resume journal
+    Cache,     //!< reused from the --cache directory
+};
+
 /** One finished configuration. */
 struct SweepResult
 {
     SweepPoint point;
     WorkloadRun run;
     double hostSeconds = 0;   //!< host wall-time for this point
+    PointStatus status = PointStatus::NotRun;
+    std::string error;        //!< failure detail; empty when ok
+    unsigned attempts = 0;    //!< execution attempts consumed
+    std::string configHash;   //!< content hash of the configuration
+    ResultSource source = ResultSource::Executed;
+
+    /** Completed and verified: safe to render / gate. */
+    bool ok() const { return status == PointStatus::Ok; }
 };
+
+/**
+ * Content-addressed key of a sweep point: a 16-hex-digit FNV-1a hash
+ * over every field that determines the simulated result — app, the
+ * complete MachineParams, scale, seed, and the sample interval.
+ * Identical hashes mean bit-identical stats (simulations are
+ * deterministic), which is what lets the journal and the result
+ * cache reuse points across runs.
+ */
+std::string pointConfigHash(const SweepPoint &point,
+                            Tick sample_interval);
 
 /** "mp3d under P+CW/RC/uniform/16p (scale 1.00, seed 1)" */
 std::string describePoint(const SweepPoint &point);
@@ -86,6 +159,10 @@ class SweepRunner
 {
   public:
     explicit SweepRunner(const Options &opts);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
 
     /**
      * Queue one configuration and return its handle. @p params
@@ -97,11 +174,23 @@ class SweepRunner
                     const std::string &tag = "", unsigned procs = 0);
 
     /**
-     * Run every queued-but-unfinished point across the thread pool;
-     * blocks until all are done. fatal()s — after all workers have
-     * joined — if any point failed verification, naming each failing
-     * configuration in full. Callable repeatedly: points added after
-     * a runAll() form the next batch.
+     * Run every queued-but-unfinished point; blocks until all are
+     * done (or the run is interrupted). Points whose config hash is
+     * found in the --resume journal or the --cache directory are
+     * reused without executing; the rest run on the in-process
+     * thread pool (--isolate=none) or in forked worker subprocesses
+     * (--isolate=process). Every newly finalized outcome is appended
+     * to the journal (fsync'd) before the suite moves on.
+     *
+     * Failure policy: under --isolate=none a failed verification
+     * fatal()s after all workers have joined, naming each failing
+     * configuration in full (the historical behavior — in-process
+     * code cannot survive crashes anyway). Under --isolate=process
+     * every failure class becomes a per-point status; callers check
+     * anyFailed()/interrupted() and apply the exit-code policy.
+     *
+     * Callable repeatedly: points added after a runAll() form the
+     * next batch.
      */
     void runAll();
 
@@ -111,27 +200,127 @@ class SweepRunner
     /** All finished results, in add() order. */
     const std::vector<SweepResult> &results() const { return done; }
 
+    /** Completed-and-verified check for one handle (render guards). */
+    bool ok(std::size_t handle) const
+    {
+        return handle < done.size() && done[handle].ok();
+    }
+
+    /** True if any finished point failed (process-mode outcomes). */
+    bool anyFailed() const;
+
+    /** Number of finished points that failed. */
+    std::size_t failedCount() const;
+
+    /** Multi-line summary of every failed point, for stderr. */
+    std::string failureSummary() const;
+
+    /** True if a SIGINT/SIGTERM stopped the last runAll() early. */
+    bool interrupted() const { return interruptedFlag; }
+
+    /** Points actually executed (not reused) across all batches. */
+    std::size_t executedCount() const { return executed; }
+
     /** Host wall-time of all runAll() calls so far, in seconds. */
     double totalHostSeconds() const { return hostSeconds; }
 
     const Options &options() const { return opts; }
 
   private:
+    void loadResumeJournal();
+    void journalAppend(const SweepResult &result);
+    void cacheStore(const SweepResult &result);
+    bool cacheLookup(const std::string &hash,
+                     SweepResult &out) const;
+    void runBatchInProcess(std::vector<SweepResult> &batch,
+                           const std::vector<std::size_t> &todo);
+    void runBatchProcess(std::vector<SweepResult> &batch,
+                         const std::vector<std::size_t> &todo);
+
     Options opts;
     std::vector<SweepPoint> queued;   //!< not yet run
     std::vector<SweepResult> done;    //!< finished, add() order
     double hostSeconds = 0;
+    bool interruptedFlag = false;
+    std::size_t executed = 0;
+    int journalFd = -1;               //!< lazily opened append fd
+    std::mutex journalMutex;          //!< in-process workers share fd
+    bool resumeLoaded = false;
+    std::map<std::string, SweepResult> resumeByHash;
 };
 
 /**
  * Write @p results as a machine-readable JSON document (see
  * DESIGN.md §11 for the schema). @p suite names the producing
- * harness ("cpxbench" or an individual bench target).
+ * harness ("cpxbench" or an individual bench target). The write is
+ * atomic: the document goes to "<path>.tmp", is fsync'd, and is
+ * rename()d into place, so a crash mid-write never leaves a torn
+ * results file to poison a later --baseline comparison. Failed
+ * points emit a "status"/"error" block instead of stats.
  */
 void writeJson(const std::string &path, const std::string &suite,
                const Options &opts,
                const std::vector<SweepResult> &results,
                double total_host_seconds);
+
+// --- exit-code policy ------------------------------------------------------
+
+/** Suite completed but one or more points failed. */
+constexpr int exitCodePointsFailed = 3;
+/** SIGINT/SIGTERM stopped the sweep; completed work is journaled. */
+constexpr int exitCodeInterrupted = 130;
+
+// --- subprocess wire format / journal --------------------------------------
+
+/**
+ * Serialize one finished point as a single-line "cpx-wire-1" JSON
+ * record: status, error, attempts, hostSeconds, config hash, and —
+ * for completed simulations — every RunResult field at full
+ * fidelity (u64s exact, doubles via %.17g). This is what a worker
+ * subprocess writes to its result pipe, what the journal stores per
+ * line, and what the cache stores per file; parseWireResult()
+ * reconstructs the SweepResult bit-identically.
+ */
+std::string serializeWireResult(const SweepResult &result);
+
+/**
+ * Parse one wire record (as produced by serializeWireResult) back
+ * into @p out. The point itself (app/params/tag) is NOT on the wire
+ * — the caller re-derives it from its own queue and matches by
+ * config hash. Returns false and fills @p error on malformed or
+ * version-mismatched input.
+ */
+bool parseWireResult(const std::string &line, SweepResult &out,
+                     std::string &error);
+
+/** Journal contents, indexed by config hash (later lines win). */
+struct JournalLoad
+{
+    std::map<std::string, SweepResult> byHash;
+    std::size_t entries = 0;      //!< valid records loaded
+    std::size_t quarantined = 0;  //!< corrupt/truncated lines
+    std::string quarantineFile;   //!< where bad lines were copied
+};
+
+/**
+ * Load a JSONL outcome journal. Corrupt or truncated lines are
+ * quarantined, not silently skipped: each is appended verbatim to
+ * "<path>.quarantine", counted, and warn()ed about, while every
+ * valid line is kept. A missing journal loads as empty.
+ */
+JournalLoad loadJournal(const std::string &path);
+
+/**
+ * Built-in fault-injection self test (cpxbench --self-test-faults):
+ * runs a process-isolated suite containing deliberately crashing,
+ * exiting, hanging, garbage-emitting, flaky and unverifiable
+ * synthetic points next to healthy ones, and checks that the
+ * supervisor classifies every failure class correctly, that healthy
+ * points' stats are bit-identical to an in-process run, and that a
+ * journal resume reuses every completed point without re-executing
+ * any. Returns 0 on success, 1 on any mismatch (details on stderr).
+ */
+int runFaultSelfTest(const Options &base);
 
 // --- minimal JSON reader (validation / round-trip tests) -------------------
 
@@ -159,10 +348,15 @@ bool parseJson(const std::string &text, JsonValue &out,
 
 /**
  * Load and validate a sweep-results JSON file: parseable, carries
- * the cpx-sweep schema marker, and every point verified. Returns
- * true on success; otherwise fills @p error.
+ * the cpx-sweep schema marker, every ok point structurally complete
+ * and verified, every failed point carrying its "status"/"error"
+ * block. Unless @p allow_failed, any failed or unverified point
+ * fails validation — with every offender listed in @p error, not
+ * just the first. Returns true on success; otherwise fills
+ * @p error.
  */
-bool validateResultsFile(const std::string &path, std::string &error);
+bool validateResultsFile(const std::string &path, std::string &error,
+                         bool allow_failed = false);
 
 /**
  * Validate a Chrome-trace-event JSON file as written by the flight
@@ -179,9 +373,12 @@ bool validateTraceFile(const std::string &path, std::string &error);
  * execTime, time breakdown, miss rates, traffic, protocol events —
  * must match the baseline bit-for-bit; host-dependent fields
  * (hostSeconds, kernel throughput) are exempt. Returns true if
- * nothing drifted, else fills @p error with the first divergence.
- * A >20% events/sec regression against the baseline's recorded
- * throughput fills @p warning but does not fail the comparison.
+ * nothing drifted, else fills @p error with EVERY divergent point
+ * (one line each, naming the point and its config hash), so one
+ * check-json run shows the full blast radius instead of the first
+ * casualty. A >20% events/sec regression against the baseline's
+ * recorded throughput fills @p warning but does not fail the
+ * comparison.
  */
 bool compareToBaseline(const std::string &path,
                        const std::string &baseline_path,

@@ -64,6 +64,15 @@ setup(SweepRunner &runner, const Options &)
         std::printf("\n");
 
         for (std::size_t p = 0; p < grid.size(); ++p) {
+            std::vector<std::size_t> needed;
+            for (const Pair &pair : grid[p]) {
+                needed.push_back(pair.big);
+                needed.push_back(pair.small);
+            }
+            if (!rowOk(runner, needed,
+                       "sens_buffers " +
+                           sensProtocols()[p].name()))
+                continue;
             std::printf("%-10s", sensProtocols()[p].name().c_str());
             for (const Pair &pair : grid[p]) {
                 Tick t_big = runner[pair.big].run.execTime;

@@ -56,6 +56,16 @@ setup(SweepRunner &runner, const Options &)
             "removes replacement misses");
 
         for (std::size_t a = 0; a < grid.size(); ++a) {
+            // Rows are relative to the BASIC pair, so the whole app
+            // block needs every pair.
+            std::vector<std::size_t> needed;
+            for (const Pair &pair : grid[a]) {
+                needed.push_back(pair.infinite);
+                needed.push_back(pair.finite);
+            }
+            if (!rowOk(runner, needed,
+                       "sens_slc " + paperApplications()[a]))
+                continue;
             std::printf("\n%s:\n%-10s %12s %12s %18s\n",
                         paperApplications()[a].c_str(), "protocol",
                         "infinite", "16KB", "repl.misses@16KB");

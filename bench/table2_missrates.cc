@@ -56,6 +56,9 @@ setup(SweepRunner &runner, const Options &)
         std::printf("\n");
 
         for (std::size_t a = 0; a < grid.size(); ++a) {
+            if (!rowOk(runner, grid[a],
+                       "table2 " + paperApplications()[a]))
+                continue;
             std::printf("%-10s", paperApplications()[a].c_str());
             for (std::size_t h : grid[a]) {
                 const RunResult &r = runner[h].run.stats;
@@ -69,6 +72,9 @@ setup(SweepRunner &runner, const Options &)
                     "vs CW (paper: 41%% shorter for MP3D under "
                     "CW):\n");
         for (std::size_t a = 0; a < grid.size(); ++a) {
+            if (!rowOk(runner, {grid[a][0], grid[a][2]},
+                       "table2 latency " + paperApplications()[a]))
+                continue;
             // Column 0 is BASIC, column 2 is CW.
             double lb = runner[grid[a][0]].run.stats
                             .avgReadMissLatency;

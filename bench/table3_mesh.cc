@@ -62,6 +62,17 @@ setup(SweepRunner &runner, const Options &)
                 std::printf(" %9s", app.c_str());
             std::printf("\n");
             for (unsigned bits : widths) {
+                std::vector<std::size_t> needed;
+                for (const std::string &app : paperApplications()) {
+                    needed.push_back(
+                        handles.at("BASIC").at(bits).at(app));
+                    needed.push_back(
+                        handles.at(proto.name()).at(bits).at(app));
+                }
+                if (!rowOk(runner, needed,
+                           "table3 " + proto.name() + " " +
+                               std::to_string(bits) + "-bit"))
+                    continue;
                 std::printf("%2u-bit  ", bits);
                 for (const std::string &app : paperApplications()) {
                     double tb = static_cast<double>(

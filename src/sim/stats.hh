@@ -78,6 +78,21 @@ class Accumulator
         sum_ = min_ = max_ = 0.0;
     }
 
+    /**
+     * Overwrite the internal state with previously observed values —
+     * the deserialization path of the sweep runner's subprocess wire
+     * format (bench/runner.cc), which must reconstruct results
+     * bit-identically on the parent side.
+     */
+    void
+    restore(std::uint64_t count, double sum, double min, double max)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+    }
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -142,6 +157,26 @@ class Histogram
         std::fill(buckets.begin(), buckets.end(), 0);
         overflow = 0;
         acc.reset();
+    }
+
+    /**
+     * Overwrite bucket counts, overflow and summary with previously
+     * observed values (subprocess wire deserialization). @p counts
+     * may be shorter than the geometry (trailing zero buckets
+     * trimmed); it must not be longer. Returns false (and leaves the
+     * histogram reset) on a geometry mismatch.
+     */
+    bool
+    restore(const std::vector<std::uint64_t> &counts,
+            std::uint64_t overflow_count, const Accumulator &summary)
+    {
+        reset();
+        if (counts.size() > buckets.size())
+            return false;
+        std::copy(counts.begin(), counts.end(), buckets.begin());
+        overflow = overflow_count;
+        acc = summary;
+        return true;
     }
 
   private:

@@ -1,11 +1,13 @@
 #!/bin/sh
 # Continuous-integration driver: plain build + tests, sanitized build
 # + tests, a short seeded stress pass under the coherence checker
-# with chaos-network fault injection, a parallel harness smoke
-# sweep whose JSON results are validated — and, when a committed
-# BENCH_baseline.json exists, gated against the baseline (any
-# simulated-stat drift fails; an events/sec regression only warns) —
-# and a sampled mesh sweep rendered to markdown through cpxreport.
+# with chaos-network fault injection, the supervisor's fault-injection
+# self-test, a process-isolated harness smoke sweep whose JSON results
+# are validated — and, when a committed BENCH_baseline.json exists,
+# gated against the baseline (any simulated-stat drift fails; an
+# events/sec regression only warns; the in-process-generated baseline
+# makes the gate a cross-isolation-mode bit-identity check) — and a
+# sampled mesh sweep rendered to markdown through cpxreport.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 #
@@ -57,15 +59,29 @@ for seed in 3 17; do
 done
 stage_done "stress spot-checks"
 
-# Harness smoke sweep: the whole table/figure suite at reduced scale.
-# --check-json fails the build if the results file is missing,
-# unparseable, or reports any unverified point; with the committed
-# baseline it also fails on any simulated-stat drift.
-echo "== harness smoke sweep (cpxbench --jobs=$jobs)"
+# Fault-injection self-test: the process-isolation supervisor must
+# classify deliberately crashing / exiting / hanging / garbage /
+# flaky / unverifiable workers, keep healthy results bit-identical
+# to the in-process pool, and resume from its journal without
+# re-executing (DESIGN.md §14).
+echo "== fault-injection self-test (cpxbench --self-test-faults)"
+"$root/$prefix/tools/cpxbench" --self-test-faults >/dev/null
+stage_done "fault-injection self-test"
+
+# Harness smoke sweep: the whole table/figure suite at reduced scale,
+# run under process isolation with a journal. The committed baseline
+# was generated in-process, so the gate below doubles as a cross-mode
+# bit-identity check on every sweep point. --check-json fails the
+# build if the results file is missing, unparseable, or reports any
+# unverified point; with the baseline it also fails on any
+# simulated-stat drift.
+echo "== harness smoke sweep (cpxbench --jobs=$jobs --isolate=process)"
 bench_json="$root/$prefix/BENCH_smoke.json"
-rm -f "$bench_json"
+bench_journal="$root/$prefix/BENCH_smoke.jsonl"
+rm -f "$bench_json" "$bench_journal" "$bench_journal.quarantine"
 "$root/$prefix/tools/cpxbench" --smoke --jobs="$jobs" \
-    --json="$bench_json" >/dev/null
+    --isolate=process --timeout=300 \
+    --journal="$bench_journal" --json="$bench_json" >/dev/null
 test -s "$bench_json" || {
     echo "cpxbench smoke run produced no JSON" >&2
     exit 1

@@ -22,11 +22,32 @@
  *                   embed the per-point "timeseries" JSON block
  *                   (0 = off, the default; simulated stats are
  *                   bit-identical either way — DESIGN.md §13)
+ *   --isolate=M     none (default): in-process thread pool;
+ *                   process: one forked, supervised worker per point
+ *                   — crashes/hangs/garbage become per-point
+ *                   statuses instead of killing the suite
+ *                   (DESIGN.md §14)
+ *   --timeout=S     per-attempt wall-clock deadline in seconds
+ *                   (process mode; 0 = none)
+ *   --retries=N     extra attempts for transient failures
+ *                   (default 1; process mode)
+ *   --journal=P     append each finished point to JSONL journal P
+ *                   (fsync'd before the point counts as done)
+ *   --resume=P      skip points already completed in journal P
+ *                   (implies --journal=P unless given separately)
+ *   --cache=DIR     content-addressed result cache: reuse identical
+ *                   configurations across runs, store new ones
+ *   --self-test-faults  run the built-in fault-injection self-test
+ *                   (deliberately crashing/hanging/garbage workers)
+ *                   and exit 0 iff the supervisor classifies and
+ *                   survives every failure class
  *   --only=A,B      run only the named bench targets
  *   --list          list bench targets and exit
  *   --check-json=P  validate an existing results file (parseable,
  *                   cpx-sweep-1 schema, every point verified) and
  *                   exit; runs nothing
+ *   --allow-failed  with --check-json: accept failed points that
+ *                   carry a well-formed status/error block
  *   --baseline=P    with --check-json: additionally fail if any
  *                   simulated stat drifted from the committed
  *                   baseline file P; warn (not fail) if events/sec
@@ -41,7 +62,13 @@
  *
  * Determinism: each simulation is single-threaded and seeded, and
  * results are collected by queue position, so the tables and the
- * JSON are bit-identical for every --jobs value.
+ * JSON are bit-identical for every --jobs value — and, because
+ * results cross the worker pipe at full fidelity, for either
+ * --isolate mode.
+ *
+ * Exit codes: 0 success; 1 fatal error; 3 suite completed but one or
+ * more points failed (their status/error is in the JSON); 130
+ * interrupted by SIGINT/SIGTERM (journaled work is resumable).
  */
 
 #include <cstdio>
@@ -65,6 +92,8 @@ main(int argc, char **argv)
 
     std::vector<std::string> only;
     bool list_only = false;
+    bool self_test = false;
+    bool allow_failed = false;
     std::string check_json;
     std::string check_trace;
     std::string baseline;
@@ -85,6 +114,33 @@ main(int argc, char **argv)
         else if (std::strncmp(arg, "--sample-interval=", 18) == 0)
             opts.sampleInterval =
                 parseU64(arg + 18, "--sample-interval");
+        else if (std::strncmp(arg, "--isolate=", 10) == 0) {
+            const char *mode = arg + 10;
+            if (std::strcmp(mode, "none") == 0)
+                opts.isolate = IsolateMode::None;
+            else if (std::strcmp(mode, "process") == 0)
+                opts.isolate = IsolateMode::Process;
+            else
+                fatal("bad --isolate mode '%s' (use none|process)",
+                      mode);
+        } else if (std::strncmp(arg, "--timeout=", 10) == 0)
+            opts.timeoutSec =
+                parsePositiveDouble(arg + 10, "--timeout");
+        else if (std::strncmp(arg, "--retries=", 10) == 0)
+            opts.retries = static_cast<unsigned>(
+                parseU64(arg + 10, "--retries"));
+        else if (std::strncmp(arg, "--journal=", 10) == 0)
+            opts.journalPath = arg + 10;
+        else if (std::strncmp(arg, "--resume=", 9) == 0) {
+            opts.resumePath = arg + 9;
+            if (opts.journalPath.empty())
+                opts.journalPath = opts.resumePath;
+        } else if (std::strncmp(arg, "--cache=", 8) == 0)
+            opts.cachePath = arg + 8;
+        else if (std::strcmp(arg, "--self-test-faults") == 0)
+            self_test = true;
+        else if (std::strcmp(arg, "--allow-failed") == 0)
+            allow_failed = true;
         else if (std::strcmp(arg, "--smoke") == 0) {
             opts.scale = 0.1;
             opts.procs = 8;
@@ -117,6 +173,12 @@ main(int argc, char **argv)
         }
     }
 
+    if (opts.isolate == IsolateMode::None && opts.timeoutSec > 0)
+        fatal("--timeout requires --isolate=process");
+
+    if (self_test)
+        return runFaultSelfTest(opts);
+
     if (!perf_summary.empty()) {
         std::string error;
         if (!printPerfSummary(perf_summary, error)) {
@@ -138,7 +200,7 @@ main(int argc, char **argv)
 
     if (!check_json.empty()) {
         std::string error;
-        if (!validateResultsFile(check_json, error)) {
+        if (!validateResultsFile(check_json, error, allow_failed)) {
             std::fprintf(stderr, "cpxbench: %s\n", error.c_str());
             return 1;
         }
@@ -195,6 +257,15 @@ main(int argc, char **argv)
     }
     runner.runAll();
 
+    if (runner.interrupted()) {
+        // Completed points are safely journaled; partial tables or a
+        // partial JSON would only mislead.
+        std::fprintf(stderr,
+                     "cpxbench: interrupted; rerun with --resume to "
+                     "continue\n");
+        return exitCodeInterrupted;
+    }
+
     bool first = true;
     for (const RenderFn &render : renders) {
         if (!first)
@@ -212,6 +283,14 @@ main(int argc, char **argv)
         writeJson(opts.jsonPath, "cpxbench", opts, runner.results(),
                   runner.totalHostSeconds());
         std::printf("results written to %s\n", opts.jsonPath.c_str());
+    }
+    if (runner.anyFailed()) {
+        std::fprintf(stderr,
+                     "cpxbench: suite completed with %zu failed "
+                     "sweep point(s):%s\n",
+                     runner.failedCount(),
+                     runner.failureSummary().c_str());
+        return exitCodePointsFailed;
     }
     return 0;
 }
