@@ -182,13 +182,14 @@ constexpr const char *flakyMarkerEnv = "CPX_FLAKY_MARKER";
  * completed but failed verification.
  */
 SweepResult
-executeRealPoint(const SweepPoint &point, Tick sample_interval)
+executeRealPoint(const SweepPoint &point, Tick sample_interval,
+                 unsigned sim_threads)
 {
     SweepResult res;
     res.point = point;
     res.attempts = 1;
     auto start = SteadyClock::now();
-    System sys(point.params);
+    System sys(point.params, sim_threads);
     auto w = makeWorkload(point.app, point.scale, point.seed);
     res.run = runWorkload(sys, *w, maxTick, sample_interval);
     std::chrono::duration<double> elapsed = SteadyClock::now() - start;
@@ -209,8 +210,9 @@ executeRealPoint(const SweepPoint &point, Tick sample_interval)
  * supervisor, so arbitrary library code is safe here.
  */
 [[noreturn]] void
-runWorkerChild(const SweepPoint &point, Tick sample_interval, int fd,
-               const std::string &hash, unsigned attempt)
+runWorkerChild(const SweepPoint &point, Tick sample_interval,
+               unsigned sim_threads, int fd, const std::string &hash,
+               unsigned attempt)
 {
     SweepPoint run_point = point;
     bool force_unverified = false;
@@ -243,7 +245,8 @@ runWorkerChild(const SweepPoint &point, Tick sample_interval, int fd,
         force_unverified = true;
     }
 
-    SweepResult res = executeRealPoint(run_point, sample_interval);
+    SweepResult res =
+        executeRealPoint(run_point, sample_interval, sim_threads);
     res.point = point;
     res.configHash = hash;
     res.attempts = attempt;
@@ -320,6 +323,9 @@ pointConfigHash(const SweepPoint &point, Tick sample_interval)
     // Every field that determines the simulated result, pinned to a
     // versioned layout: changing the simulator's parameter space
     // should change the salt, invalidating stale caches.
+    // --sim-threads is deliberately absent: the parallel kernel is
+    // bit-identical at every worker count, so cached results are
+    // interchangeable across thread configurations.
     key << "cpx-point-1|" << point.app << '|' << d(point.scale) << '|'
         << point.seed << '|' << sample_interval << '|' << p.numProcs
         << '|' << p.blockBytes << '|' << p.pageBytes << '|'
@@ -367,6 +373,9 @@ parseOptions(int argc, char **argv)
         else if (std::strncmp(arg, "--sample-interval=", 18) == 0)
             opts.sampleInterval =
                 parseU64(arg + 18, "--sample-interval");
+        else if (std::strncmp(arg, "--sim-threads=", 14) == 0)
+            opts.simThreads =
+                parsePositiveUnsigned(arg + 14, "--sim-threads");
         else if (std::strncmp(arg, "--isolate=", 10) == 0) {
             const char *mode = arg + 10;
             if (std::strcmp(mode, "none") == 0)
@@ -395,7 +404,8 @@ parseOptions(int argc, char **argv)
         else
             fatal("unknown option '%s' (use --scale=F --procs=N "
                   "--jobs=N --seed=N --json=PATH "
-                  "--sample-interval=N --isolate=none|process "
+                  "--sample-interval=N --sim-threads=N "
+                  "--isolate=none|process "
                   "--timeout=SECS --retries=N --journal=PATH "
                   "--resume=PATH --cache=DIR)",
                   arg);
@@ -698,8 +708,8 @@ SweepRunner::runBatchInProcess(std::vector<SweepResult> &batch,
             if (t >= todo.size())
                 return;
             std::size_t i = todo[t];
-            SweepResult res =
-                executeRealPoint(queued[i], opts.sampleInterval);
+            SweepResult res = executeRealPoint(
+                queued[i], opts.sampleInterval, opts.simThreads);
             res.point = queued[i];
             res.configHash = batch[i].configHash;
             journalAppend(res);
@@ -812,8 +822,8 @@ SweepRunner::runBatchProcess(std::vector<SweepResult> &batch,
             std::signal(SIGINT, SIG_DFL);
             std::signal(SIGTERM, SIG_DFL);
             runWorkerChild(queued[p.index], opts.sampleInterval,
-                           fds[1], batch[p.index].configHash,
-                           p.attempt);
+                           opts.simThreads, fds[1],
+                           batch[p.index].configHash, p.attempt);
         }
         ::close(fds[1]);
         int flags = ::fcntl(fds[0], F_GETFL, 0);
@@ -1043,6 +1053,7 @@ writeJson(const std::string &path, const std::string &suite,
     out << "  \"jobs\": " << opts.jobs << ",\n";
     out << "  \"scale\": " << jsonNumber(opts.scale) << ",\n";
     out << "  \"procs\": " << opts.procs << ",\n";
+    out << "  \"simThreads\": " << opts.simThreads << ",\n";
     out << "  \"hostSeconds\": " << jsonNumber(total_host_seconds)
         << ",\n";
 
@@ -1218,6 +1229,11 @@ writeJson(const std::string &path, const std::string &suite,
             << jsonNumber(s.peakPendingEvents) << ", "
             << "\"scheduleAllocs\": " << jsonNumber(s.scheduleAllocs)
             << ", "
+            << "\"slabRounds\": " << jsonNumber(s.slabRounds) << ", "
+            << "\"crossMessages\": " << jsonNumber(s.crossMessages)
+            << ", "
+            << "\"lookahead\": " << jsonNumber(s.lookahead) << ", "
+            << "\"simThreads\": " << s.simThreads << ", "
             << "\"eventsPerSec\": "
             << jsonNumber(r.hostSeconds > 0
                               ? s.eventsExecuted / r.hostSeconds
@@ -1822,7 +1838,8 @@ compareToBaseline(const std::string &path,
 }
 
 bool
-printPerfSummary(const std::string &path, std::string &error)
+printPerfSummary(const std::string &path, std::string &error,
+                 const std::string &reference_path)
 {
     JsonValue doc;
     if (!loadSweepDoc(path, doc, error))
@@ -1839,9 +1856,35 @@ printPerfSummary(const std::string &path, std::string &error)
                                      : "?");
     std::printf("  points:       %zu\n",
                 doc.has("points") ? doc.at("points").items.size() : 0);
+    std::printf("  simThreads:   %.0f\n",
+                doc.has("simThreads") ? doc.at("simThreads").number
+                                      : 1.0);
     std::printf("  hostSeconds:  %.2f\n", num("hostSeconds"));
     std::printf("  totalEvents:  %.0f\n", num("totalEvents"));
     std::printf("  eventsPerSec: %.3g\n", num("eventsPerSec"));
+
+    if (!reference_path.empty()) {
+        JsonValue ref;
+        if (!loadSweepDoc(reference_path, ref, error))
+            return false;
+        auto rnum = [&ref](const char *key) {
+            return ref.has(key) ? ref.at(key).number : 0.0;
+        };
+        double ref_threads =
+            ref.has("simThreads") ? ref.at("simThreads").number : 1.0;
+        double cur_secs = num("hostSeconds");
+        double ref_secs = rnum("hostSeconds");
+        double cur_eps = num("eventsPerSec");
+        double ref_eps = rnum("eventsPerSec");
+        std::printf("  speedup vs %s (simThreads=%.0f):\n",
+                    reference_path.c_str(), ref_threads);
+        std::printf("    wall-clock:  %.2fx (%.2fs vs %.2fs)\n",
+                    cur_secs > 0 ? ref_secs / cur_secs : 0.0,
+                    cur_secs, ref_secs);
+        std::printf("    events/sec:  %.2fx (%.3g vs %.3g)\n",
+                    ref_eps > 0 ? cur_eps / ref_eps : 0.0, cur_eps,
+                    ref_eps);
+    }
 
     if (!doc.has("points"))
         return true;
@@ -1959,6 +2002,28 @@ struct WireReader
     {
         const JsonValue *v = get(key, JsonValue::Kind::Number);
         return v ? jsonU64(*v) : 0;
+    }
+
+    /**
+     * Like u64(), but an absent member yields @p fallback instead of
+     * failing the record. For fields added to cpx-wire-1 after its
+     * introduction (the parallel-kernel telemetry): journals and
+     * caches written by older binaries stay loadable.
+     */
+    std::uint64_t
+    u64Opt(const char *key, std::uint64_t fallback)
+    {
+        if (!ok)
+            return fallback;
+        auto it = obj.members.find(key);
+        if (it == obj.members.end())
+            return fallback;
+        if (it->second.kind != JsonValue::Kind::Number) {
+            error = std::string("mistyped '") + key + "'";
+            ok = false;
+            return fallback;
+        }
+        return jsonU64(it->second);
     }
 
     std::string
@@ -2090,7 +2155,11 @@ serializeWireResult(const SweepResult &res)
             << ",\"peakPendingEvents\":"
             << jsonNumber(s.peakPendingEvents)
             << ",\"scheduleAllocs\":"
-            << jsonNumber(s.scheduleAllocs);
+            << jsonNumber(s.scheduleAllocs)
+            << ",\"slabRounds\":" << jsonNumber(s.slabRounds)
+            << ",\"crossMessages\":" << jsonNumber(s.crossMessages)
+            << ",\"lookahead\":" << jsonNumber(s.lookahead)
+            << ",\"simThreads\":" << s.simThreads;
         if (!s.timeseries.empty()) {
             const MetricTimeSeries &ts = s.timeseries;
             out << ",\"timeseries\":{\"interval\":"
@@ -2184,6 +2253,11 @@ parseWireResult(const std::string &line, SweepResult &out,
     s.eventsExecuted = r.u64("eventsExecuted");
     s.peakPendingEvents = r.u64("peakPendingEvents");
     s.scheduleAllocs = r.u64("scheduleAllocs");
+    s.slabRounds = r.u64Opt("slabRounds", 0);
+    s.crossMessages = r.u64Opt("crossMessages", 0);
+    s.lookahead = r.u64Opt("lookahead", 0);
+    s.simThreads =
+        static_cast<unsigned>(r.u64Opt("simThreads", 1));
     const JsonValue *class_bytes =
         r.get("classBytes", JsonValue::Kind::Array);
     if (!r.ok)

@@ -59,6 +59,10 @@ struct Options
     std::uint64_t seed = 1;   //!< workload seed (seeded workloads only)
     std::string jsonPath;     //!< --json=PATH; empty = no JSON output
     Tick sampleInterval = 0;  //!< interval-metrics period; 0 = off
+    unsigned simThreads = 1;  //!< intra-simulation worker threads per
+                              //!< point (parallel DES kernel,
+                              //!< DESIGN.md §15); stats are
+                              //!< bit-identical at every value
 
     // --- fault isolation (DESIGN.md §14) -----------------------------
     IsolateMode isolate = IsolateMode::None;
@@ -74,7 +78,8 @@ struct Options
 /**
  * Parse the options every bench binary accepts:
  *   --scale=F --procs=N --jobs=N --seed=N --json=PATH
- *   --sample-interval=N --isolate=none|process --timeout=SECONDS
+ *   --sample-interval=N --sim-threads=N
+ *   --isolate=none|process --timeout=SECONDS
  *   --retries=N --journal=PATH --resume=PATH --cache=DIR
  * (CPX_SCALE in the environment seeds the default scale.)
  * Numbers are checked: malformed values, trailing garbage and zero
@@ -387,10 +392,15 @@ bool compareToBaseline(const std::string &path,
 /**
  * Print the throughput fields of an existing results file (suite
  * totals plus a per-tag table) to stdout; used by CI to surface the
- * perf trajectory in the job summary. Returns false and fills
- * @p error if the file is unreadable.
+ * perf trajectory in the job summary. When @p reference_path is
+ * non-empty, also print the parallel-kernel speedup of @p path over
+ * the reference file (wall-clock and events/sec ratios, labelled
+ * with each file's --sim-threads) — CI passes the --sim-threads=1
+ * results file as the reference. Returns false and fills @p error
+ * if either file is unreadable.
  */
-bool printPerfSummary(const std::string &path, std::string &error);
+bool printPerfSummary(const std::string &path, std::string &error,
+                      const std::string &reference_path = "");
 
 // --- bench-module registry -------------------------------------------------
 

@@ -20,7 +20,7 @@ Watchdog::Watchdog(System &sys_) : Watchdog(sys_, Options()) {}
 void
 Watchdog::arm()
 {
-    lastExecuted = sys.eq().executed();
+    lastExecuted = sys.totalEventsExecuted();
     sys.eq().scheduleIn(opts.interval, [this] { sample(); });
 }
 
@@ -39,7 +39,7 @@ Watchdog::sample()
     if (all_finished)
         return;  // run is wrapping up; stop sampling
 
-    const std::uint64_t executed = sys.eq().executed();
+    const std::uint64_t executed = sys.totalEventsExecuted();
     // `executed` includes this very sample event, so a delta of one
     // means nothing but the heartbeat ran: the machine is wedged.
     if (executed - lastExecuted <= 1)

@@ -34,15 +34,15 @@ std::string
 formatStallDiagnostics(System &sys)
 {
     const MachineParams &params = sys.params();
-    EventQueue &eq = sys.eq();
+    const Tick now = sys.simNow();
     std::string out;
 
     append(out,
            "=== protocol stall diagnostics @ tick %" PRIu64 " ===\n",
-           eq.now());
+           now);
     append(out,
-           "event queue    : %zu pending, %" PRIu64 " executed\n",
-           eq.pending(), eq.executed());
+           "event queues   : %zu pending, %" PRIu64 " executed\n",
+           sys.totalPending(), sys.totalEventsExecuted());
     append(out, "quiescent      : %s\n",
            sys.quiescent() ? "yes" : "NO");
 
@@ -86,7 +86,7 @@ formatStallDiagnostics(System &sys)
             append(out,
                    "    blk %#" PRIx64 " %-9s since t=%" PRIu64
                    " (age %" PRIu64 ")\n",
-                   t.block, t.kind, t.start, eq.now() - t.start);
+                   t.block, t.kind, t.start, now - t.start);
         }
         if (!dir_blocks.empty()) {
             append(out, "  dir: %zu blocks in service\n",

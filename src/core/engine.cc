@@ -1,0 +1,174 @@
+#include "core/engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cpx
+{
+
+thread_local EventQueue *activeNodeQueue = nullptr;
+
+SlabEngine::SlabEngine(
+    EventQueue &kernel_queue,
+    const std::vector<std::unique_ptr<EventQueue>> &node_queues,
+    Network &network, unsigned num_workers, NodeHooks node_hooks)
+    : kernelQueue(kernel_queue), nodeQueues(node_queues), net(network),
+      workers(std::max(1u,
+                       std::min(num_workers,
+                                static_cast<unsigned>(
+                                    node_queues.size())))),
+      hooks(std::move(node_hooks)),
+      outboxes(node_queues.size()),
+      barrier(workers)
+{
+    stats.lookahead = net.minCrossLatency();
+    stats.simThreads = workers;
+    if (stats.lookahead == 0)
+        panic("network reports zero cross-node latency; the slab "
+              "kernel needs lookahead >= 1");
+    net.setParallelBridge(this);
+}
+
+SlabEngine::~SlabEngine()
+{
+    net.setParallelBridge(nullptr);
+}
+
+EventQueue &
+SlabEngine::activeQueue()
+{
+    if (!activeNodeQueue)
+        panic("network send outside node execution while the "
+              "parallel kernel is active");
+    return *activeNodeQueue;
+}
+
+void
+SlabEngine::crossSend(NodeId src, NodeId dst, unsigned total_bytes,
+                      MsgClass klass, EventQueue::Callback on_deliver)
+{
+    outboxes[src].msgs.push_back(PendingMsg{
+        activeQueue().now(), src, dst, total_bytes, klass,
+        std::move(on_deliver)});
+}
+
+Tick
+SlabEngine::earliestNodeTick() const
+{
+    Tick t = maxTick;
+    for (const auto &q : nodeQueues)
+        t = std::min(t, q->nextPendingTick());
+    return t;
+}
+
+void
+SlabEngine::runPartition(unsigned worker, Tick slab_end)
+{
+    // Static interleaved partition: node n belongs to worker n % W.
+    // The assignment only affects which thread advances a queue,
+    // never what the queue does, so it is free to be this simple.
+    for (std::size_t n = worker; n < nodeQueues.size(); n += workers) {
+        EventQueue &q = *nodeQueues[n];
+        activeNodeQueue = &q;
+        Logger::setTickSource(q.tickPtr());
+        if (hooks.enter)
+            hooks.enter(static_cast<unsigned>(n));
+        q.runUntil(slab_end);
+        if (hooks.leave)
+            hooks.leave(static_cast<unsigned>(n));
+        activeNodeQueue = nullptr;
+        Logger::clearTickSource(q.tickPtr());
+    }
+}
+
+void
+SlabEngine::workerLoop(unsigned worker)
+{
+    for (;;) {
+        barrier.arriveAndWait();  // slab start (or shutdown)
+        if (stopping)
+            return;
+        runPartition(worker, slabEnd);
+        barrier.arriveAndWait();  // slab end
+    }
+}
+
+void
+SlabEngine::drainOutboxes()
+{
+    // Canonical order: gather source-ascending (each outbox is
+    // already send-ordered), then stable-sort by send tick. The
+    // result is (send tick, source node, send sequence) — a total
+    // order independent of how many workers produced the messages.
+    drainScratch.clear();
+    for (auto &box : outboxes) {
+        for (auto &msg : box.msgs)
+            drainScratch.push_back(std::move(msg));
+        box.msgs.clear();
+    }
+    std::stable_sort(drainScratch.begin(), drainScratch.end(),
+                     [](const PendingMsg &a, const PendingMsg &b) {
+                         return a.sendTick < b.sendTick;
+                     });
+    stats.crossMessages += drainScratch.size();
+    for (PendingMsg &msg : drainScratch) {
+        // Arrival >= sendTick + lookahead >= slab end: never lands
+        // inside the slab just executed, so no queue sees the past.
+        net.acceptCross(msg.src, msg.dst, msg.totalBytes, msg.klass,
+                        msg.sendTick, *nodeQueues[msg.dst],
+                        std::move(msg.onDeliver));
+    }
+    drainScratch.clear();
+}
+
+void
+SlabEngine::run(Tick limit)
+{
+    // Everything the coordinator schedules between slabs stamps
+    // kernel time; workers install their node queues themselves.
+    const std::uint64_t *coordinator_tick = kernelQueue.tickPtr();
+    Logger::setTickSource(coordinator_tick);
+
+    threads.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        threads.emplace_back([this, w] { workerLoop(w); });
+
+    const Tick end_cap = limit == maxTick ? maxTick : limit + 1;
+    for (;;) {
+        const Tick kernel_next = kernelQueue.nextPendingTick();
+        const Tick node_next = earliestNodeTick();
+        const Tick t = std::min(kernel_next, node_next);
+        if (t == maxTick || t > limit)
+            break;
+        if (kernel_next <= t) {
+            // Kernel slice: sampler/watchdog events at this tick run
+            // before any node event at the same tick, with every
+            // worker parked — they may read node state race-free.
+            kernelQueue.runUntil(kernel_next + 1);
+            continue;
+        }
+        Tick slab_limit = t > maxTick - stats.lookahead
+                              ? maxTick
+                              : t + stats.lookahead;
+        const Tick end =
+            std::min({slab_limit, kernel_next, end_cap});
+        ++stats.slabRounds;
+        slabEnd = end;
+        barrier.arriveAndWait();  // publish slabEnd; slab start
+        runPartition(0, end);
+        Logger::setTickSource(coordinator_tick);
+        barrier.arriveAndWait();  // slab end
+        drainOutboxes();
+        if (hooks.commit)
+            hooks.commit();
+    }
+
+    stopping = true;
+    barrier.arriveAndWait();
+    for (std::thread &th : threads)
+        th.join();
+    threads.clear();
+}
+
+} // namespace cpx

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Parallel discrete-event kernel: conservative time-slab execution
+ * of one System's nodes across host worker threads (DESIGN.md §15).
+ *
+ * Every node owns a private event queue. The engine repeatedly picks
+ * the earliest pending tick t across all queues and lets workers
+ * advance their node partitions through the slab [t, t + L), where L
+ * is the network's minimum cross-node latency (the lookahead): a
+ * message sent inside the slab cannot arrive before the slab ends,
+ * so nodes never need to observe each other mid-slab. Cross-node
+ * sends park in per-source outboxes; at the slab barrier the
+ * coordinator drains them in canonical (send tick, source node, send
+ * sequence) order — routing, traffic accounting and latency sampling
+ * all happen there, so their history is identical at every worker
+ * count, which is what makes the simulated statistics bit-identical
+ * across --sim-threads values (including 1: the engine is the only
+ * kernel; a single worker just runs every partition itself).
+ *
+ * Kernel-queue events (interval sampler, watchdog — anything
+ * scheduled through System::eq() from outside node execution) run
+ * between slabs on the coordinator, with all workers parked: they
+ * may read any node's statistics race-free. At a given tick, kernel
+ * events run before node events.
+ */
+
+#ifndef CPX_CORE_ENGINE_HH
+#define CPX_CORE_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+/**
+ * The event queue of the node currently executing on this host
+ * thread, or nullptr outside node execution. System::eq() resolves
+ * through this so that every component reaches the right queue
+ * without carrying one; the engine sets it around each partition
+ * advance (and System::run around Processor::start).
+ */
+extern thread_local EventQueue *activeNodeQueue;
+
+/** Kernel counters reported per run (RunResult, bench JSON). */
+struct SlabTelemetry
+{
+    std::uint64_t slabRounds = 0;    //!< barrier-delimited slabs run
+    std::uint64_t crossMessages = 0; //!< messages drained at barriers
+    Tick lookahead = 0;              //!< slab width bound L, in ticks
+    unsigned simThreads = 1;         //!< worker threads actually used
+};
+
+class SlabEngine : public ParallelBridge
+{
+  public:
+    /**
+     * Execution-context callbacks the owning System supplies so that
+     * node-private state living outside the engine (the backing
+     * store's slab write overlays) tracks the engine's schedule
+     * without the engine knowing about memory at all. All three are
+     * optional. enter/leave bracket each node's partition advance on
+     * the worker thread running it; commit runs on the coordinator
+     * after every slab's outboxes drain, with all workers parked.
+     */
+    struct NodeHooks
+    {
+        std::function<void(unsigned node)> enter;
+        std::function<void(unsigned node)> leave;
+        std::function<void()> commit;
+    };
+
+    /**
+     * @param kernel_queue System-level queue (sampler, watchdog)
+     * @param node_queues  one queue per node, index == node id
+     * @param network      the system's (outermost) network model;
+     *                     the engine installs itself as its bridge
+     *                     for the duration of the engine's lifetime
+     * @param num_workers  host threads to shard nodes across
+     *                     (clamped to the node count)
+     */
+    SlabEngine(EventQueue &kernel_queue,
+               const std::vector<std::unique_ptr<EventQueue>> &node_queues,
+               Network &network, unsigned num_workers,
+               NodeHooks hooks = {});
+    ~SlabEngine() override;
+
+    SlabEngine(const SlabEngine &) = delete;
+    SlabEngine &operator=(const SlabEngine &) = delete;
+
+    /** Run all queues until drained or past @p limit. */
+    void run(Tick limit);
+
+    const SlabTelemetry &telemetry() const { return stats; }
+
+    // --- ParallelBridge -----------------------------------------------------
+    EventQueue &activeQueue() override;
+    void crossSend(NodeId src, NodeId dst, unsigned total_bytes,
+                   MsgClass klass,
+                   EventQueue::Callback on_deliver) override;
+
+  private:
+    /** A cross-node message parked until the slab barrier. */
+    struct PendingMsg
+    {
+        Tick sendTick;
+        NodeId src;
+        NodeId dst;
+        unsigned totalBytes;
+        MsgClass klass;
+        EventQueue::Callback onDeliver;
+    };
+
+    /**
+     * Per-source mailbox; cache-line padded because each is filled
+     * only by the worker executing that source node. Entries are
+     * appended in send order, which is exactly the (send tick, send
+     * sequence) order within the source.
+     */
+    struct alignas(64) Outbox
+    {
+        std::vector<PendingMsg> msgs;
+    };
+
+    /**
+     * Sense-reversing spin barrier. Spins briefly then yields, so it
+     * stays cheap on dedicated cores without starving oversubscribed
+     * ones (CI runners). Plain atomics: ThreadSanitizer models the
+     * acquire/release pairs directly, no annotations needed.
+     */
+    class Barrier
+    {
+      public:
+        explicit Barrier(unsigned n) : total(n) {}
+
+        void
+        arriveAndWait()
+        {
+            unsigned sense = phase.load(std::memory_order_relaxed);
+            if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                total) {
+                arrived.store(0, std::memory_order_relaxed);
+                phase.fetch_add(1, std::memory_order_release);
+            } else {
+                unsigned spins = 0;
+                while (phase.load(std::memory_order_acquire) == sense) {
+                    if (++spins > 4096) {
+                        std::this_thread::yield();
+                        spins = 0;
+                    }
+                }
+            }
+        }
+
+      private:
+        const unsigned total;
+        std::atomic<unsigned> arrived{0};
+        std::atomic<unsigned> phase{0};
+    };
+
+    void workerLoop(unsigned worker);
+    void runPartition(unsigned worker, Tick slab_end);
+    void drainOutboxes();
+    Tick earliestNodeTick() const;
+
+    EventQueue &kernelQueue;
+    const std::vector<std::unique_ptr<EventQueue>> &nodeQueues;
+    Network &net;
+    unsigned workers;
+    NodeHooks hooks;
+    SlabTelemetry stats;
+
+    std::vector<Outbox> outboxes;     //!< index == source node id
+    std::vector<PendingMsg> drainScratch;
+    std::vector<std::thread> threads; //!< workers 1..W-1 (0 = caller)
+    Barrier barrier;
+    Tick slabEnd = 0;                 //!< published before the start barrier
+    bool stopping = false;            //!< published before the start barrier
+};
+
+} // namespace cpx
+
+#endif // CPX_CORE_ENGINE_HH

@@ -66,9 +66,13 @@ collectStats(System &sys, Tick exec_time)
         r.prefetchFillLatency.merge(slc.prefetchFillLatencyHist());
     }
 
-    r.eventsExecuted = sys.eq().executed();
-    r.peakPendingEvents = sys.eq().peakPending();
-    r.scheduleAllocs = sys.eq().scheduleAllocs();
+    r.eventsExecuted = sys.totalEventsExecuted();
+    r.peakPendingEvents = sys.totalPeakPending();
+    r.scheduleAllocs = sys.totalScheduleAllocs();
+    r.slabRounds = sys.kernelTelemetry().slabRounds;
+    r.crossMessages = sys.kernelTelemetry().crossMessages;
+    r.lookahead = sys.kernelTelemetry().lookahead;
+    r.simThreads = sys.kernelTelemetry().simThreads;
 
     r.netBytes = sys.net().totalBytes();
     r.netMessages = sys.net().totalMessages();
@@ -99,11 +103,14 @@ formatSystemStats(System &sys)
          p.consistency == Consistency::ReleaseConsistency ? "RC"
                                                           : "SC");
     emit("system.numProcs %u\n", p.numProcs);
-    emit("system.eventsExecuted %llu\n", ull(sys.eq().executed()));
+    // Deliberately no simThreads line: this dump must be identical
+    // at every worker count (the determinism tests compare it).
+    emit("system.eventsExecuted %llu\n",
+         ull(sys.totalEventsExecuted()));
     emit("system.peakPendingEvents %llu\n",
-         ull(sys.eq().peakPending()));
+         ull(sys.totalPeakPending()));
     emit("system.scheduleAllocs %llu\n",
-         ull(sys.eq().scheduleAllocs()));
+         ull(sys.totalScheduleAllocs()));
     emit("network.bytes %llu\n", ull(sys.net().totalBytes()));
     emit("network.messages %llu\n", ull(sys.net().totalMessages()));
     const char *class_names[] = {"request", "data", "coherence",

@@ -73,9 +73,16 @@ struct RunResult
 
     // Simulation-kernel telemetry (host-side throughput trajectory;
     // identical across hosts except where divided by host time).
+    // Aggregated across the kernel queue and every node queue; each
+    // per-queue value — and so each sum — is independent of
+    // --sim-threads.
     std::uint64_t eventsExecuted = 0;   //!< events the kernel dispatched
-    std::uint64_t peakPendingEvents = 0; //!< high-water mark of the queue
+    std::uint64_t peakPendingEvents = 0; //!< sum of per-queue peaks
     std::uint64_t scheduleAllocs = 0;   //!< schedule() calls that hit the heap
+    std::uint64_t slabRounds = 0;       //!< parallel-kernel slabs run
+    std::uint64_t crossMessages = 0;    //!< messages drained at barriers
+    std::uint64_t lookahead = 0;        //!< slab width bound, ticks
+    unsigned simThreads = 1;            //!< worker threads used
 
     /**
      * Interval-sampled metric deltas (empty unless the run sampled,

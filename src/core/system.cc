@@ -1,5 +1,6 @@
 #include "core/system.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -11,8 +12,9 @@
 namespace cpx
 {
 
-System::System(const MachineParams &machine_params)
-    : params_(machine_params),
+System::System(const MachineParams &machine_params,
+               unsigned sim_threads)
+    : params_(machine_params), simThreads_(sim_threads),
       addressMap(params_.blockBytes, params_.pageBytes,
                  params_.numProcs),
       backingStore(params_.pageBytes),
@@ -20,6 +22,8 @@ System::System(const MachineParams &machine_params)
 {
     if (params_.numProcs == 0 || params_.numProcs > 64)
         fatal("numProcs must be in 1..64 (presence vector width)");
+    if (simThreads_ == 0 || simThreads_ > 64)
+        fatal("sim-threads must be in 1..64");
     if (params_.protocol.compUpdate &&
         params_.consistency == Consistency::SequentialConsistency) {
         fatal("the competitive-update extension (CW) requires "
@@ -51,9 +55,16 @@ System::System(const MachineParams &machine_params)
             eventQueue, std::move(network), params_.chaos);
     }
 
+    nodeQueues.reserve(params_.numProcs);
     nodes.reserve(params_.numProcs);
-    for (NodeId n = 0; n < params_.numProcs; ++n)
+    for (NodeId n = 0; n < params_.numProcs; ++n) {
+        nodeQueues.push_back(std::make_unique<EventQueue>());
         nodes.push_back(std::make_unique<Node>(n, *this));
+    }
+    // Each EventQueue constructor installed itself as this thread's
+    // trace tick source; outside node execution the system-level
+    // kernel queue is the right one.
+    Logger::setTickSource(eventQueue.tickPtr());
 }
 
 void
@@ -91,13 +102,41 @@ System::run(const std::function<void(Processor &, unsigned)> &body,
               "per run (caches would be warm)");
     ran = true;
 
+    unsigned workers = simThreads_;
+    if (observer() && workers > 1) {
+        // The coherence checker keeps order-dependent state across
+        // nodes; running it sharded would race. Checked runs are a
+        // debugging tool — correctness beats speed here.
+        warn("protocol observer installed: forcing --sim-threads=1 "
+             "(was %u)", workers);
+        workers = 1;
+    }
+
     for (NodeId n = 0; n < params_.numProcs; ++n) {
         Processor &p = nodes[n]->proc;
         unsigned id = n;
+        // The initial fiber resume must land on the node's own
+        // queue: point eq() at it for the duration of start().
+        activeNodeQueue = nodeQueues[n].get();
         p.start([&body, &p, id] { body(p, id); });
     }
+    activeNodeQueue = nullptr;
 
-    eventQueue.run(limit);
+    // Functional memory runs behind per-node slab write overlays for
+    // the whole engine run — at every worker count, so there is one
+    // canonical memory semantics (backing_store.hh, DESIGN.md §15).
+    backingStore.beginSlabOverlays(params_.numProcs);
+    SlabEngine::NodeHooks hooks;
+    hooks.enter = [this](unsigned n) { backingStore.enterNode(n); };
+    hooks.leave = [this](unsigned) { backingStore.leaveNode(); };
+    hooks.commit = [this] { backingStore.commitSlab(); };
+    {
+        SlabEngine engine(eventQueue, nodeQueues, *network, workers,
+                          std::move(hooks));
+        engine.run(limit);
+        telemetry = engine.telemetry();
+    }
+    backingStore.endSlabOverlays();
 
     Tick finish = 0;
     for (NodeId n = 0; n < params_.numProcs; ++n) {
@@ -110,12 +149,57 @@ System::run(const std::function<void(Processor &, unsigned)> &body,
                   "limit %llu reached at t=%llu; %zu events pending; "
                   "diagnostics above)",
                   n, static_cast<unsigned long long>(limit),
-                  static_cast<unsigned long long>(eventQueue.now()),
-                  eventQueue.pending());
+                  static_cast<unsigned long long>(simNow()),
+                  totalPending());
         }
         finish = std::max(finish, p.finishTick());
     }
     return finish;
+}
+
+std::uint64_t
+System::totalEventsExecuted() const
+{
+    std::uint64_t total = eventQueue.executed();
+    for (const auto &q : nodeQueues)
+        total += q->executed();
+    return total;
+}
+
+std::size_t
+System::totalPending() const
+{
+    std::size_t total = eventQueue.pending();
+    for (const auto &q : nodeQueues)
+        total += q->pending();
+    return total;
+}
+
+std::size_t
+System::totalPeakPending() const
+{
+    std::size_t total = eventQueue.peakPending();
+    for (const auto &q : nodeQueues)
+        total += q->peakPending();
+    return total;
+}
+
+std::uint64_t
+System::totalScheduleAllocs() const
+{
+    std::uint64_t total = eventQueue.scheduleAllocs();
+    for (const auto &q : nodeQueues)
+        total += q->scheduleAllocs();
+    return total;
+}
+
+Tick
+System::simNow() const
+{
+    Tick t = eventQueue.now();
+    for (const auto &q : nodeQueues)
+        t = std::max(t, q->now());
+    return t;
 }
 
 void

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/engine.hh"
 #include "mem/backing_store.hh"
 #include "mem/shared_heap.hh"
 #include "net/mesh.hh"
@@ -28,10 +29,27 @@ namespace cpx
 class System : public Fabric
 {
   public:
-    explicit System(const MachineParams &machine_params);
+    /**
+     * @param machine_params machine description
+     * @param sim_threads    host worker threads for the parallel
+     *                       kernel (default 1; statistics are
+     *                       bit-identical at every value)
+     */
+    explicit System(const MachineParams &machine_params,
+                    unsigned sim_threads = 1);
 
     // --- Fabric ---------------------------------------------------------------
-    EventQueue &eq() override { return eventQueue; }
+    /**
+     * The event queue of the current execution context: the queue of
+     * the node executing on this host thread, or the system-level
+     * kernel queue outside node execution (setup, sampling,
+     * teardown). Components never need to know which.
+     */
+    EventQueue &
+    eq() override
+    {
+        return activeNodeQueue ? *activeNodeQueue : eventQueue;
+    }
     Network &net() override { return *network; }
     const AddressMap &amap() const override { return addressMap; }
     const MachineParams &params() const override { return params_; }
@@ -91,15 +109,45 @@ class System : public Fabric
      */
     bool quiescent() const;
 
+    // --- kernel aggregates ---------------------------------------------------
+    // Sums over the kernel queue and every node queue. Each per-queue
+    // value is identical at every --sim-threads setting, so these
+    // (and anything derived from them, e.g. formatSystemStats) are
+    // too.
+
+    /** Events executed across all queues. */
+    std::uint64_t totalEventsExecuted() const;
+
+    /** Live pending events across all queues. */
+    std::size_t totalPending() const;
+
+    /** Sum of each queue's pending high-water mark. */
+    std::size_t totalPeakPending() const;
+
+    /** schedule() heap allocations across all queues. */
+    std::uint64_t totalScheduleAllocs() const;
+
+    /** Latest simulated time reached by any queue. */
+    Tick simNow() const;
+
+    /** Worker-thread count requested at construction. */
+    unsigned simThreads() const { return simThreads_; }
+
+    /** Kernel telemetry of the last run() (zeros before run()). */
+    const SlabTelemetry &kernelTelemetry() const { return telemetry; }
+
   private:
     MachineParams params_;
-    EventQueue eventQueue;
+    unsigned simThreads_;
+    EventQueue eventQueue;  //!< kernel queue (system-level events)
     AddressMap addressMap;
     BackingStore backingStore;
     SharedHeap sharedHeap;
     std::unique_ptr<Network> network;
     MeshNetwork *meshPtr = nullptr;
+    std::vector<std::unique_ptr<EventQueue>> nodeQueues;
     std::vector<std::unique_ptr<Node>> nodes;
+    SlabTelemetry telemetry;
     bool ran = false;
 };
 

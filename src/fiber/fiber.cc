@@ -4,6 +4,39 @@
 
 #include "sim/logging.hh"
 
+// ThreadSanitizer does not understand raw stack switches: without
+// annotation it keeps attributing execution to the old stack and
+// reports false races on everything the fiber touches. The fiber API
+// (create/destroy/switch) tells it about every context explicitly.
+#if defined(__SANITIZE_THREAD__)
+#define CPX_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CPX_FIBER_TSAN 1
+#endif
+#endif
+
+#ifdef CPX_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#define CPX_TSAN_CREATE(f)  ((f)->tsanFiber = __tsan_create_fiber(0))
+#define CPX_TSAN_DESTROY(f)                                             \
+    do {                                                                \
+        if ((f)->tsanFiber)                                             \
+            __tsan_destroy_fiber((f)->tsanFiber);                       \
+    } while (0)
+#define CPX_TSAN_ENTER(f)                                               \
+    do {                                                                \
+        (f)->tsanCaller = __tsan_get_current_fiber();                   \
+        __tsan_switch_to_fiber((f)->tsanFiber, 0);                      \
+    } while (0)
+#define CPX_TSAN_LEAVE(f) __tsan_switch_to_fiber((f)->tsanCaller, 0)
+#else
+#define CPX_TSAN_CREATE(f)  ((void)0)
+#define CPX_TSAN_DESTROY(f) ((void)0)
+#define CPX_TSAN_ENTER(f)   ((void)0)
+#define CPX_TSAN_LEAVE(f)   ((void)0)
+#endif
+
 #ifdef CPX_FIBER_FAST_CONTEXT
 extern "C" {
 /** Save callee-saved state, swap stacks (context_x86_64.S). */
@@ -45,6 +78,7 @@ Fiber::Fiber(Entry entry_fn, std::size_t stack_size)
     frame[5] = nullptr;                                 // rbp
     frame[6] = reinterpret_cast<void *>(&cpx_ctx_boot); // return address
     sp = frame;
+    CPX_TSAN_CREATE(this);
 }
 
 #else // ucontext fallback
@@ -64,6 +98,7 @@ Fiber::Fiber(Entry entry_fn, std::size_t stack_size)
     makecontext(&context, reinterpret_cast<void (*)()>(&Fiber::trampoline),
                 2, static_cast<unsigned>(self >> 32),
                 static_cast<unsigned>(self & 0xffffffffu));
+    CPX_TSAN_CREATE(this);
 }
 
 #endif
@@ -72,6 +107,7 @@ Fiber::~Fiber()
 {
     if (started && !finished_)
         warn("destroying a fiber that has not finished");
+    CPX_TSAN_DESTROY(this);
 }
 
 #ifndef CPX_FIBER_FAST_CONTEXT
@@ -85,6 +121,7 @@ Fiber::trampoline(unsigned hi, unsigned lo)
     self->finished_ = true;
     // Return to the resumer for the last time.
     currentFiber = nullptr;
+    CPX_TSAN_LEAVE(self);
     swapcontext(&self->context, &self->callerContext);
     panic("resumed a finished fiber");
 }
@@ -99,6 +136,7 @@ Fiber::resume()
     started = true;
     Fiber *previous = currentFiber;
     currentFiber = this;
+    CPX_TSAN_ENTER(this);
 #ifdef CPX_FIBER_FAST_CONTEXT
     cpx_ctx_switch(&callerSp, sp);
 #else
@@ -115,6 +153,7 @@ Fiber::yield()
     if (!self)
         panic("Fiber::yield() called outside any fiber");
     currentFiber = nullptr;
+    CPX_TSAN_LEAVE(self);
 #ifdef CPX_FIBER_FAST_CONTEXT
     cpx_ctx_switch(&self->sp, self->callerSp);
 #else
@@ -143,6 +182,7 @@ cpx_fiber_entry(void *arg)
     self->finished_ = true;
     // Return to the resumer for the last time.
     cpx::currentFiber = nullptr;
+    CPX_TSAN_LEAVE(self);
     cpx_ctx_switch(&self->sp, self->callerSp);
     cpx::panic("resumed a finished fiber");
 }

@@ -91,6 +91,12 @@ class Fiber
     ucontext_t context;
     ucontext_t callerContext;
 #endif
+    //! ThreadSanitizer fiber contexts (fiber.cc). Always present so
+    //! the class layout does not depend on the sanitizer; touched
+    //! only in TSAN builds, where the stack switch must be announced
+    //! or TSAN sees one thread jumping between unrelated stacks.
+    void *tsanFiber = nullptr;
+    void *tsanCaller = nullptr;
     bool started = false;
     bool finished_ = false;
 };

@@ -12,9 +12,10 @@ ChaosNetwork::ChaosNetwork(EventQueue &event_queue,
 }
 
 Tick
-ChaosNetwork::route(NodeId src, NodeId dst, unsigned total_bytes)
+ChaosNetwork::route(NodeId src, NodeId dst, unsigned total_bytes,
+                    Tick now)
 {
-    Tick arrival = inner_->route(src, dst, total_bytes);
+    Tick arrival = inner_->route(src, dst, total_bytes, now);
     if (src == dst)
         return arrival;  // node-local: never crosses the network
 

@@ -42,7 +42,17 @@ class ChaosNetwork : public Network
                  std::unique_ptr<Network> inner,
                  const ChaosParams &chaos);
 
-    Tick route(NodeId src, NodeId dst, unsigned total_bytes) override;
+    Tick route(NodeId src, NodeId dst, unsigned total_bytes,
+               Tick now) override;
+
+    /**
+     * Jitter only ever delays a message and the pairwise FIFO clamp
+     * only raises arrivals, so the wrapped model's minimum is still a
+     * valid conservative lookahead.
+     */
+    Tick minCrossLatency() const override {
+        return inner_->minCrossLatency();
+    }
 
     /** Total jitter added across all messages, in pclocks. */
     std::uint64_t jitterInjected() const { return jitterTicks.value(); }

@@ -78,7 +78,8 @@ MeshNetwork::hopCount(NodeId src, NodeId dst) const
 }
 
 Tick
-MeshNetwork::route(NodeId src, NodeId dst, unsigned total_bytes)
+MeshNetwork::route(NodeId src, NodeId dst, unsigned total_bytes,
+                   Tick now)
 {
     // Flit count: payload cut into link-width pieces; at least one.
     unsigned msg_flits =
@@ -86,8 +87,9 @@ MeshNetwork::route(NodeId src, NodeId dst, unsigned total_bytes)
 
     if (src == dst) {
         // Memory-to-cache traffic inside a node never enters the
-        // mesh; the local bus models that cost.
-        return eq.now() + 2;
+        // mesh; the local bus models that cost. No link state is
+        // touched, so concurrent workers may take this path freely.
+        return now + 2;
     }
     flits += msg_flits;
 
@@ -95,7 +97,7 @@ MeshNetwork::route(NodeId src, NodeId dst, unsigned total_bytes)
     unsigned dx = dst % cols, dy = dst / cols;
 
     // Head departure time from the previous router.
-    Tick head = eq.now();
+    Tick head = now;
 
     auto traverse = [&](Direction d, unsigned &coord, unsigned target) {
         while (coord != target) {

@@ -35,10 +35,39 @@ enum class MsgClass
     NumClasses,
 };
 
+/**
+ * Kernel-side hooks the parallel slab engine installs on a System's
+ * network (DESIGN.md §15). While a bridge is installed, node-local
+ * sends are scheduled on the queue of the node currently executing on
+ * this host thread, and cross-node sends are deferred — routing,
+ * traffic accounting and latency sampling all happen at the slab
+ * barrier, in canonical (send tick, source node, send sequence)
+ * order, via acceptCross(). Without a bridge the legacy inline path
+ * is used, so a bare Network over a private queue (unit tests) keeps
+ * its original semantics.
+ */
+class ParallelBridge
+{
+  public:
+    virtual ~ParallelBridge() = default;
+
+    /** Queue of the node currently executing on this host thread. */
+    virtual EventQueue &activeQueue() = 0;
+
+    /** Park a cross-node message in the sender's outbox until the
+     *  slab barrier. @p total_bytes includes the header. */
+    virtual void crossSend(NodeId src, NodeId dst,
+                           unsigned total_bytes, MsgClass klass,
+                           EventQueue::Callback on_deliver) = 0;
+};
+
 class Network
 {
   public:
     using DeliverFn = EventQueue::Callback;
+
+    /** Cap on addressable nodes (MachineParams enforces <= 64). */
+    static constexpr unsigned maxNodes = 64;
 
     explicit Network(EventQueue &event_queue) : eq(event_queue) {}
     virtual ~Network() = default;
@@ -56,17 +85,50 @@ class Network
          DeliverFn on_deliver, MsgClass klass = MsgClass::Request)
     {
         unsigned total = payload_bytes + messageHeaderBytes;
-        if (src != dst) {
-            // Node-local traffic never enters the network; only the
-            // local bus (charged by the sender) sees it.
-            ++messages_;
-            bytes_ += total;
-            classBytes[static_cast<unsigned>(klass)] += total;
+        if (src != dst && bridge_) {
+            bridge_->crossSend(src, dst, total, klass,
+                               std::move(on_deliver));
+            return;
         }
-        Tick arrival = route(src, dst, total);
-        latency.sample(static_cast<double>(arrival - eq.now()));
-        eq.schedule(arrival, std::move(on_deliver));
+        EventQueue &q = bridge_ ? bridge_->activeQueue() : eq;
+        if (src != dst) {
+            acceptCross(src, dst, total, klass, q.now(), q,
+                        std::move(on_deliver));
+            return;
+        }
+        // Node-local traffic never enters the network; only the
+        // local bus (charged by the sender) sees it. Sampled into a
+        // per-source accumulator: under the parallel kernel only
+        // src's worker touches it.
+        Tick arrival = route(src, dst, total, q.now());
+        localLat[src].acc.sample(static_cast<double>(arrival - q.now()));
+        q.schedule(arrival, std::move(on_deliver));
     }
+
+    /**
+     * Deliver one cross-node message: charge traffic counters, route,
+     * sample latency and schedule @p on_deliver on @p dst_queue. The
+     * inline path of send() comes here directly; the parallel engine
+     * calls it at the slab barrier, once per mailbox entry, in
+     * canonical order — so a run's sequence of calls (and therefore
+     * every counter, link reservation and jitter draw) is identical
+     * at every --sim-threads value.
+     */
+    void
+    acceptCross(NodeId src, NodeId dst, unsigned total_bytes,
+                MsgClass klass, Tick send_tick, EventQueue &dst_queue,
+                DeliverFn on_deliver)
+    {
+        ++messages_;
+        bytes_ += total_bytes;
+        classBytes[static_cast<unsigned>(klass)] += total_bytes;
+        Tick arrival = route(src, dst, total_bytes, send_tick);
+        crossLat.sample(static_cast<double>(arrival - send_tick));
+        dst_queue.schedule(arrival, std::move(on_deliver));
+    }
+
+    /** Install (or, with nullptr, remove) the parallel kernel hooks. */
+    void setParallelBridge(ParallelBridge *bridge) { bridge_ = bridge; }
 
     std::uint64_t totalMessages() const { return messages_.value(); }
     std::uint64_t totalBytes() const { return bytes_.value(); }
@@ -78,15 +140,41 @@ class Network
         return classBytes[static_cast<unsigned>(klass)].value();
     }
 
-    const Accumulator &latencyStats() const { return latency; }
+    /**
+     * Merged view of cross-node and node-local message latencies.
+     * Merge order is fixed (cross, then locals by node id); all
+     * samples are integer tick counts whose running sums stay far
+     * below 2^53, so the merged count/sum/min/max are exact and
+     * independent of sampling interleaving — the report is
+     * bit-identical at every --sim-threads value.
+     */
+    const Accumulator &
+    latencyStats() const
+    {
+        mergedLat.reset();
+        mergedLat.merge(crossLat);
+        for (const auto &l : localLat)
+            mergedLat.merge(l.acc);
+        return mergedLat;
+    }
 
     /**
      * Model-specific routing: return the absolute arrival tick of a
-     * @p total_bytes message from @p src to @p dst injected now.
-     * Public so that decorators (ChaosNetwork) can delegate to the
-     * model they wrap; everything else goes through send().
+     * @p total_bytes message from @p src to @p dst injected at
+     * @p now. Public so that decorators (ChaosNetwork) can delegate
+     * to the model they wrap; everything else goes through send() /
+     * acceptCross().
      */
-    virtual Tick route(NodeId src, NodeId dst, unsigned total_bytes) = 0;
+    virtual Tick route(NodeId src, NodeId dst, unsigned total_bytes,
+                       Tick now) = 0;
+
+    /**
+     * Smallest possible cross-node (src != dst) delivery delay, in
+     * ticks. The parallel kernel's lookahead: a message sent at tick
+     * t cannot act on another node before t + minCrossLatency(), so
+     * workers may safely advance that far without synchronizing.
+     */
+    virtual Tick minCrossLatency() const = 0;
 
   protected:
     EventQueue &eq;
@@ -95,7 +183,15 @@ class Network
     Counter messages_;
     Counter bytes_;
     Counter classBytes[static_cast<unsigned>(MsgClass::NumClasses)];
-    Accumulator latency;
+    //! Cross-node latency: sampled only in acceptCross (under the
+    //! parallel kernel: only at the barrier, in canonical order).
+    Accumulator crossLat;
+    //! Node-local latency, one slot per source node, cache-line
+    //! padded so concurrent workers never share a line.
+    struct alignas(64) LocalLat { Accumulator acc; };
+    LocalLat localLat[maxNodes];
+    mutable Accumulator mergedLat;
+    ParallelBridge *bridge_ = nullptr;
 };
 
 /**
@@ -113,11 +209,13 @@ class UniformNetwork : public Network
     {}
 
     Tick
-    route(NodeId src, NodeId dst, unsigned) override
+    route(NodeId src, NodeId dst, unsigned, Tick now) override
     {
         Tick delay = (src == dst) ? localLatency : hopLatency;
-        return eq.now() + delay;
+        return now + delay;
     }
+
+    Tick minCrossLatency() const override { return hopLatency; }
 
   private:
     Tick hopLatency;

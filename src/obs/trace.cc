@@ -161,9 +161,9 @@ TraceRing::snapshot() const
     return out;
 }
 
-TraceSink::TraceSink(const EventQueue &eq, unsigned num_nodes,
+TraceSink::TraceSink(unsigned num_nodes,
                      std::size_t capacity_per_node)
-    : queue(eq)
+    : msgIds(num_nodes)
 {
     if (num_nodes == 0)
         fatal("trace sink needs at least one node");

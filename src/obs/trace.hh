@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace cpx
@@ -138,16 +139,22 @@ class TraceRing
 /**
  * The per-system flight recorder: one ring per node plus the export
  * and dump machinery. Install on a Fabric with setTracer(); agents
- * reach it through CPX_RECORD. Timestamps come from the system's
- * event queue.
+ * reach it through CPX_RECORD. Timestamps come from the recording
+ * thread's installed tick source (Logger::currentTick()): under the
+ * parallel kernel each worker stamps with the queue of the node it is
+ * executing, so records carry that node's time, not some other
+ * partition's. Rings and message-id counters are per node, and a
+ * node's records are only ever made by the worker that owns it, so
+ * the sink is safe under the parallel kernel without locks.
  */
 class TraceSink
 {
   public:
     static constexpr std::size_t defaultRingCapacity = 4096;
 
-    TraceSink(const EventQueue &eq, unsigned num_nodes,
-              std::size_t capacity_per_node = defaultRingCapacity);
+    explicit TraceSink(unsigned num_nodes,
+                       std::size_t capacity_per_node =
+                           defaultRingCapacity);
     ~TraceSink();
 
     TraceSink(const TraceSink &) = delete;
@@ -157,13 +164,23 @@ class TraceSink
     record(NodeId node, TraceKind kind, Addr addr,
            std::uint64_t arg = 0, std::uint32_t aux = 0)
     {
-        rings[node].push(TraceRecord{queue.now(), addr, arg, kind,
+        rings[node].push(TraceRecord{Logger::currentTick(), addr, arg,
+                                     kind,
                                      static_cast<std::uint16_t>(node),
                                      aux});
     }
 
-    /** Fresh correlation id for a message send/recv pair. */
-    std::uint64_t nextMsgId() { return ++lastMsgId; }
+    /**
+     * Fresh correlation id for a message send/recv pair, drawn from
+     * @p src's private counter and tagged with the node id so ids
+     * stay globally unique (and nonzero) without shared state.
+     */
+    std::uint64_t
+    nextMsgId(NodeId src)
+    {
+        return (static_cast<std::uint64_t>(src) << 40) |
+               ++msgIds[src].count;
+    }
 
     unsigned numNodes() const {
         return static_cast<unsigned>(rings.size());
@@ -203,9 +220,12 @@ class TraceSink
   private:
     static void failureDump(void *ctx);
 
-    const EventQueue &queue;
+    //! Per-source message-id counter, cache-line padded: each is
+    //! bumped only by the worker executing that node.
+    struct alignas(64) MsgIdCounter { std::uint64_t count = 0; };
+
     std::vector<TraceRing> rings;
-    std::uint64_t lastMsgId = 0;
+    std::vector<MsgIdCounter> msgIds;
 };
 
 } // namespace cpx

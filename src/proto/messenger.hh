@@ -67,7 +67,7 @@ sendProtocolMessage(Fabric &fabric, NodeId src, NodeId dst,
 
     std::uint64_t trace_id = 0;
     if (TraceSink *t = fabric.tracer()) {
-        trace_id = t->nextMsgId();
+        trace_id = t->nextMsgId(src);
         t->record(src, TraceKind::MsgSend, payload, trace_id,
                   traceMsgAux(dst, static_cast<unsigned>(klass)));
     }

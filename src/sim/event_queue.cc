@@ -292,6 +292,65 @@ EventQueue::step()
     return true;
 }
 
+void
+EventQueue::runUntil(Tick horizon)
+{
+    if (horizon == 0)
+        return;
+    const Tick limit = horizon - 1;
+    for (;;) {
+        Event *e = popEarliestLive(limit);
+        if (!e)
+            break;
+        execute(e);
+    }
+}
+
+Tick
+EventQueue::nextPendingTick()
+{
+    if (pending_ == 0)
+        return maxTick;
+    for (;;) {
+        const std::size_t idx = findRingFront();
+        if (idx == ringSize) {
+            if (overflow.empty())
+                return maxTick;
+            horizon_ = overflow.begin()->first;
+            migrateOverflow();
+            continue;
+        }
+        List &bucket = ring[idx];
+        Event *e = bucket.head;
+        const bool fromRing =
+            overflow.empty() || overflow.begin()->first > e->when;
+        if (!fromRing)
+            e = overflow.begin()->second.head;
+        if (!e->cancelled)
+            return e->when;
+        // Prune the cancelled front node exactly as popEarliestLive
+        // would, then look again.
+        if (fromRing) {
+            bucket.head = e->next;
+            if (!bucket.head)
+                bucket.tail = nullptr;
+            if (--bucket.n == 0)
+                ringBits[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+            --ringNodes;
+        } else {
+            auto it = overflow.begin();
+            List &l = it->second;
+            l.head = e->next;
+            if (!l.head)
+                l.tail = nullptr;
+            if (--l.n == 0)
+                overflow.erase(it);
+        }
+        e->next = nullptr;
+        releaseEvent(e);
+    }
+}
+
 Tick
 EventQueue::run(Tick limit)
 {

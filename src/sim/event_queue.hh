@@ -125,6 +125,30 @@ class EventQueue
     Tick run(Tick limit = maxTick);
 
     /**
+     * Execute every event strictly before @p horizon, in (tick,
+     * insertion-order) order, and stop — the slab primitive of the
+     * parallel kernel (DESIGN.md §15). Unlike run(), now() is left at
+     * the last executed event, so a later slab (or a cross-queue
+     * insertion at >= horizon) never observes time it has not reached.
+     */
+    void runUntil(Tick horizon);
+
+    /**
+     * Earliest tick holding a live (uncancelled) event, or maxTick if
+     * none. Prunes cancelled events off the front as a side effect;
+     * semantics are unchanged (lazy deletion would reclaim them on
+     * the next pop anyway).
+     */
+    Tick nextPendingTick();
+
+    /**
+     * Address of the current-time counter, for per-slab trace
+     * stamping (Logger::setTickSource) when several queues share one
+     * host thread.
+     */
+    const std::uint64_t *tickPtr() const { return &now_; }
+
+    /**
      * Execute exactly one event (the earliest).
      * @return false if the queue was empty.
      */

@@ -49,6 +49,12 @@ Logger::clearTickSource(const std::uint64_t *tick_ptr)
         tickSource = nullptr;
 }
 
+std::uint64_t
+Logger::currentTick()
+{
+    return tickSource ? *tickSource : 0;
+}
+
 void
 Logger::setFailureHook(FailureHook hook, void *ctx)
 {

@@ -62,6 +62,15 @@ class Logger
     static void clearTickSource(const std::uint64_t *tick_ptr);
 
     /**
+     * Simulated time according to this thread's installed tick
+     * source, or 0 if none is installed. Observability components
+     * (obs/trace.hh) stamp records through this instead of holding a
+     * queue reference, so a record made while the parallel kernel has
+     * a node queue active on this thread gets that node's time.
+     */
+    static std::uint64_t currentTick();
+
+    /**
      * Last-words hook: called (once) by panic() and fatal() after the
      * message is printed, before the process dies. The flight
      * recorder installs itself here to dump the recent protocol

@@ -301,7 +301,7 @@ TEST(ChaosNetwork, DeterministicForSameSeed)
                    chaosConfig(42, true));
     for (unsigned i = 0; i < 500; ++i) {
         NodeId src = i % 7, dst = (i * 3 + 1) % 7;
-        EXPECT_EQ(a.route(src, dst, 40), b.route(src, dst, 40));
+        EXPECT_EQ(a.route(src, dst, 40, 0), b.route(src, dst, 40, 0));
     }
     EXPECT_EQ(a.jitterInjected(), b.jitterInjected());
 }
@@ -315,7 +315,7 @@ TEST(ChaosNetwork, DifferentSeedsDiverge)
                    chaosConfig(2, true));
     bool diverged = false;
     for (unsigned i = 0; i < 100 && !diverged; ++i)
-        diverged = a.route(0, 1, 40) != b.route(0, 1, 40);
+        diverged = a.route(0, 1, 40, 0) != b.route(0, 1, 40, 0);
     EXPECT_TRUE(diverged);
 }
 
@@ -326,7 +326,7 @@ TEST(ChaosNetwork, PreservesPairwiseFifoWhenAsked)
                      chaosConfig(7, true));
     Tick last = 0;
     for (unsigned i = 0; i < 1000; ++i) {
-        Tick arrival = net.route(0, 1, 40);
+        Tick arrival = net.route(0, 1, 40, 0);
         EXPECT_GE(arrival, last);
         last = arrival;
     }
@@ -344,7 +344,7 @@ TEST(ChaosNetwork, ReordersAcrossAPairWhenAllowed)
     bool reordered = false;
     Tick last = 0;
     for (unsigned i = 0; i < 1000; ++i) {
-        Tick arrival = net.route(0, 1, 40);
+        Tick arrival = net.route(0, 1, 40, 0);
         if (arrival < last)
             reordered = true;
         if (arrival > last)
@@ -363,7 +363,7 @@ TEST(ChaosNetwork, LocalDeliveryIsNeverPerturbed)
                      std::make_unique<UniformNetwork>(eq_chaos),
                      chaosConfig(3, true));
     for (unsigned i = 0; i < 50; ++i)
-        EXPECT_EQ(net.route(2, 2, 40), plain.route(2, 2, 40));
+        EXPECT_EQ(net.route(2, 2, 40, 0), plain.route(2, 2, 40, 0));
 }
 
 TEST(ChaosNetwork, SystemWiresDecoratorWhenEnabled)

@@ -112,7 +112,7 @@ TEST(TraceMacro, DisabledPathEvaluatesNoArguments)
 TEST(TraceMacro, RecordsThroughAnInstalledSink)
 {
     EventQueue eq;
-    TraceSink sink(eq, 2, 8);
+    TraceSink sink(2, 8);
     TraceSink *installed = &sink;
     CPX_RECORD(installed, 1, TraceKind::LockAcquire, 0x40, 0, 7);
     EXPECT_EQ(sink.recorded(), 1u);
@@ -137,7 +137,7 @@ TEST(TraceSinkIntegration, TracedRunStatsAreBitIdentical)
     WorkloadRun r1 = runWorkload(plain, *w1);
 
     System traced(params);
-    TraceSink sink(traced.eq(), params.numProcs, 64);
+    TraceSink sink(params.numProcs, 64);
     traced.setTracer(&sink);
     auto w2 = makeWorkload("migratory", 0.1);
     WorkloadRun r2 = runWorkload(traced, *w2);
@@ -158,7 +158,7 @@ TEST(TraceSinkIntegration, ExportsBalancedChromeTraceJson)
 {
     MachineParams params = smallParams();
     System sys(params);
-    TraceSink sink(sys.eq(), params.numProcs);
+    TraceSink sink(params.numProcs);
     sys.setTracer(&sink);
     auto w = makeWorkload("migratory", 0.1);
     WorkloadRun run = runWorkload(sys, *w);
@@ -198,7 +198,7 @@ TEST(TraceSinkIntegration, FormatTailsDescribesRecentEvents)
 {
     MachineParams params = smallParams(2);
     System sys(params);
-    TraceSink sink(sys.eq(), params.numProcs, 32);
+    TraceSink sink(params.numProcs, 32);
     sys.setTracer(&sink);
     auto w = makeWorkload("migratory", 0.1);
     (void)runWorkload(sys, *w);
@@ -221,7 +221,7 @@ TEST(TraceDeathTest, WatchdogStallDumpsFlightRecorderTails)
         {
             MachineParams params = smallParams(2);
             System sys(params);
-            TraceSink sink(sys.eq(), params.numProcs, 64);
+            TraceSink sink(params.numProcs, 64);
             sys.setTracer(&sink);
             Addr lock = sys.heap().allocLock();
             Watchdog::Options opts;
@@ -247,7 +247,7 @@ TEST(TraceDeathTest, FailureHookDumpsTailsOnPanic)
     EXPECT_DEATH(
         {
             EventQueue eq;
-            TraceSink sink(eq, 1, 8);
+            TraceSink sink(1, 8);
             sink.record(0, TraceKind::MsgSend, 64, 1,
                         traceMsgAux(0, 0));
             sink.installFailureDump();

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Parallel DES kernel tests (DESIGN.md §15): the simulated statistics
+ * must be bit-identical at every --sim-threads value, for every
+ * network model and under adversarial (chaos) schedules, and the
+ * backing store's slab write overlays must implement exactly the
+ * canonical race semantics the determinism argument relies on.
+ *
+ * The cross-thread comparisons hash the entire formatSystemStats()
+ * dump — every per-node counter, histogram bucket, resource and
+ * network statistic — so any divergence anywhere in the machine
+ * fails the test, not just the headline numbers.
+ *
+ * Registered with the ctest label "threads" so the ThreadSanitizer
+ * CI lane can run exactly this suite: ctest -L threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/checker.hh"
+#include "core/config.hh"
+#include "core/report.hh"
+#include "mem/backing_store.hh"
+#include "workloads/workload.hh"
+
+namespace cpx
+{
+namespace
+{
+
+/** Run one workload and return the full gem5-style stats dump. */
+std::string
+runDump(MachineParams params, const std::string &app, double scale,
+        std::uint64_t seed, unsigned sim_threads)
+{
+    System sys(params, sim_threads);
+    auto w = makeWorkload(app, scale, seed);
+    WorkloadRun run = runWorkload(sys, *w, /*limit=*/500'000'000);
+    EXPECT_TRUE(run.verified)
+        << app << " seed " << seed << " sim_threads " << sim_threads;
+    return formatSystemStats(sys);
+}
+
+// --- bit-identity across worker counts ---------------------------------
+
+TEST(ParallelKernel, RandomizedSchedulesMatchSequentialReference)
+{
+    // Slab-boundary tie-break determinism: the stress workload's
+    // seeded random access pattern lands events on both sides of
+    // slab boundaries differently for every seed; each schedule must
+    // still reproduce the sequential reference exactly. W=3 leaves
+    // the 8 nodes unevenly partitioned on purpose.
+    MachineParams params = makeParams(ProtocolConfig::pcw());
+    params.numProcs = 8;
+    for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+        std::string reference =
+            runDump(params, "stress", 0.25, seed, 1);
+        EXPECT_EQ(reference, runDump(params, "stress", 0.25, seed, 3))
+            << "seed " << seed;
+    }
+}
+
+TEST(ParallelKernel, MailboxOrderingUnderChaosNetwork)
+{
+    // The chaos decorator jitters and reorders deliveries from one
+    // RNG whose draw order is part of the simulated semantics. The
+    // barrier drains mailboxes in canonical (send tick, source,
+    // sequence) order, so the RNG history — and with it every
+    // delivery time — must not depend on the worker count.
+    MachineParams params = makeParams(ProtocolConfig::pcwm());
+    params.numProcs = 8;
+    params.chaos.enabled = true;
+    params.chaos.maxJitter = 96;
+    params.chaos.seed = 3;
+    EXPECT_EQ(runDump(params, "migratory", 0.25, 1, 1),
+              runDump(params, "migratory", 0.25, 1, 4));
+}
+
+TEST(ParallelKernel, MeshSmallLookaheadMatchesSequential)
+{
+    // The mesh's minimum cross-node latency (= lookahead) is only a
+    // few ticks, so slabs are short and nearly every protocol
+    // message crosses a barrier — the stress case for mailbox
+    // ordering and slab-boundary handling.
+    MachineParams params = makeParams(ProtocolConfig::pcw());
+    params.numProcs = 16;
+    params.networkKind = NetworkKind::Mesh;
+    EXPECT_EQ(runDump(params, "false_sharing", 0.25, 1, 1),
+              runDump(params, "false_sharing", 0.25, 1, 4));
+}
+
+TEST(ParallelKernel, TwoRunIdentityAtFourThreads)
+{
+    // Same configuration, same thread count, two fresh systems: the
+    // parallel kernel must also be deterministic against itself, not
+    // just against the sequential reference.
+    MachineParams params = makeParams(ProtocolConfig::pcw());
+    params.numProcs = 8;
+    EXPECT_EQ(runDump(params, "producer_consumer", 0.25, 1, 4),
+              runDump(params, "producer_consumer", 0.25, 1, 4));
+}
+
+// --- argument validation and clamping ----------------------------------
+
+TEST(ParallelKernel, RejectsZeroAndOversizedSimThreads)
+{
+    MachineParams params = makeParams(ProtocolConfig::basic());
+    EXPECT_EXIT(System sys(params, 0),
+                ::testing::ExitedWithCode(1), "sim-threads");
+    EXPECT_EXIT(System sys(params, 65),
+                ::testing::ExitedWithCode(1), "sim-threads");
+}
+
+TEST(ParallelKernel, WorkersClampToNodeCount)
+{
+    MachineParams params = makeParams(ProtocolConfig::pcw());
+    params.numProcs = 4;
+    System sys(params, 16);
+    auto w = makeWorkload("readonly", 0.25);
+    WorkloadRun run = runWorkload(sys, *w, /*limit=*/500'000'000);
+    EXPECT_TRUE(run.verified);
+    EXPECT_EQ(sys.kernelTelemetry().simThreads, 4u);
+}
+
+TEST(ParallelKernel, TelemetryPopulatedAfterRun)
+{
+    MachineParams params = makeParams(ProtocolConfig::pcw());
+    params.numProcs = 8;
+    System sys(params, 2);
+    auto w = makeWorkload("migratory", 0.25);
+    WorkloadRun run = runWorkload(sys, *w, /*limit=*/500'000'000);
+    EXPECT_TRUE(run.verified);
+    const SlabTelemetry &t = sys.kernelTelemetry();
+    EXPECT_GT(t.slabRounds, 0u);
+    EXPECT_GT(t.crossMessages, 0u);
+    EXPECT_GT(t.lookahead, 0u);
+    EXPECT_EQ(t.simThreads, 2u);
+}
+
+TEST(ParallelKernel, ObserverForcesSequentialExecution)
+{
+    // The coherence checker keeps cross-node order-dependent state;
+    // the system must silently fall back to one worker rather than
+    // race through it.
+    MachineParams params = makeParams(ProtocolConfig::pcw());
+    params.numProcs = 8;
+    System sys(params, 4);
+    CoherenceChecker::Options copts;
+    copts.failFast = true;
+    CoherenceChecker checker(sys, copts);
+    auto w = makeWorkload("migratory", 0.25);
+    WorkloadRun run = runWorkload(sys, *w, /*limit=*/500'000'000);
+    EXPECT_TRUE(run.verified);
+    EXPECT_EQ(sys.kernelTelemetry().simThreads, 1u);
+    checker.checkQuiescent();
+}
+
+// --- slab write overlays (functional memory) ---------------------------
+
+TEST(SlabOverlays, ReadsOwnWritesOthersSeeSlabStartImage)
+{
+    BackingStore store(256);
+    store.write32(0x100, 11);
+    store.beginSlabOverlays(2);
+
+    store.enterNode(0);
+    store.write32(0x100, 22);
+    EXPECT_EQ(store.read32(0x100), 22u); // read-your-own-writes
+    store.leaveNode();
+
+    store.enterNode(1);
+    EXPECT_EQ(store.read32(0x100), 11u); // frozen slab-start image
+    store.leaveNode();
+
+    store.commitSlab();
+    EXPECT_EQ(store.read32(0x100), 22u); // committed at the barrier
+    store.endSlabOverlays();
+}
+
+TEST(SlabOverlays, SameSlabCollisionResolvesToHighestNode)
+{
+    BackingStore store(256);
+    store.beginSlabOverlays(3);
+    store.enterNode(2);
+    store.write32(0x40, 222);
+    store.leaveNode();
+    store.enterNode(0);
+    store.write32(0x40, 100);
+    store.write32(0x44, 101); // no collision: survives regardless
+    store.leaveNode();
+    store.commitSlab();
+    EXPECT_EQ(store.read32(0x40), 222u); // ascending order: node 2 last
+    EXPECT_EQ(store.read32(0x44), 101u);
+    store.endSlabOverlays();
+}
+
+TEST(SlabOverlays, DirtyByteGranularityPreservesNeighbors)
+{
+    // Committing must copy only the bytes the node wrote, not whole
+    // shadow pages — else a stale shadow byte could clobber another
+    // node's earlier-slab write to the same page.
+    BackingStore store(256);
+    store.write32(0x10, 0xAABBCCDD);
+    store.beginSlabOverlays(2);
+    store.enterNode(0);
+    store.writeBytes(0x10, "\x11", 1);
+    store.leaveNode();
+    store.commitSlab();
+    store.endSlabOverlays();
+    EXPECT_EQ(store.read32(0x10) & 0xFFu, 0x11u);
+    EXPECT_EQ(store.read32(0x10) >> 8, 0xAABBCCu);
+}
+
+TEST(SlabOverlays, PersistAcrossSlabsUntilEnd)
+{
+    BackingStore store(256);
+    store.beginSlabOverlays(2);
+    // Slab 1: node 0 writes, barrier commits.
+    store.enterNode(0);
+    store.write32(0x200, 1);
+    store.leaveNode();
+    store.commitSlab();
+    // Slab 2: node 1 sees the committed value and overwrites it;
+    // endSlabOverlays commits the straggler.
+    store.enterNode(1);
+    EXPECT_EQ(store.read32(0x200), 1u);
+    store.write32(0x200, 2);
+    store.leaveNode();
+    store.endSlabOverlays();
+    EXPECT_EQ(store.read32(0x200), 2u);
+}
+
+} // anonymous namespace
+} // namespace cpx

@@ -6,8 +6,14 @@
 # are validated — and, when a committed BENCH_baseline.json exists,
 # gated against the baseline (any simulated-stat drift fails; an
 # events/sec regression only warns; the in-process-generated baseline
-# makes the gate a cross-isolation-mode bit-identity check) — and a
-# sampled mesh sweep rendered to markdown through cpxreport.
+# makes the gate a cross-isolation-mode bit-identity check) — a
+# parallel-kernel bit-identity matrix (the smoke suite re-run at
+# --sim-threads=1/2/4, every results file gated against the same
+# baseline, so thread-count determinism is enforced on every sweep
+# point), and a sampled mesh sweep rendered to markdown through
+# cpxreport. The ThreadSanitizer lane lives in the GitHub workflow
+# (.github/workflows/ci.yml, job "tsan"): CPX_SANITIZE=thread build,
+# ctest -L threads, and a chaos stress run at --sim-threads=4.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 #
@@ -94,6 +100,34 @@ else
 fi
 "$root/$prefix/tools/cpxbench" --perf-summary="$bench_json"
 stage_done "harness smoke sweep"
+
+# Parallel-kernel bit-identity matrix: the same smoke suite at
+# several --sim-threads values. Each results file must validate and
+# match the committed baseline byte-for-byte on every simulated stat
+# (the baseline was produced at --sim-threads=1, so passing it
+# unmodified at 2 and 4 workers IS the thread-count determinism
+# guarantee of DESIGN.md §15; the gate's >20% events/sec check also
+# warns on threaded-config throughput regressions). The speedup
+# summary at the end feeds the workflow's perf-trajectory job
+# summary.
+echo "== sim-threads bit-identity matrix (1 2 4)"
+for w in 1 2 4; do
+    mt_json="$root/$prefix/BENCH_threads$w.json"
+    rm -f "$mt_json"
+    "$root/$prefix/tools/cpxbench" --smoke --jobs="$jobs" \
+        --sim-threads="$w" --json="$mt_json" >/dev/null
+    if [ -f "$root/BENCH_baseline.json" ]; then
+        "$root/$prefix/tools/cpxbench" --check-json="$mt_json" \
+            --baseline="$root/BENCH_baseline.json"
+    else
+        "$root/$prefix/tools/cpxbench" --check-json="$mt_json"
+    fi
+    echo "   --sim-threads=$w OK"
+done
+"$root/$prefix/tools/cpxbench" \
+    --perf-summary="$root/$prefix/BENCH_threads4.json" \
+    --speedup-vs="$root/$prefix/BENCH_threads1.json"
+stage_done "sim-threads bit-identity matrix"
 
 # Interval-metrics smoke: one sampled mesh sweep must validate under
 # --check-json (timeseries schema included) and render a non-empty

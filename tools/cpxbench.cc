@@ -22,6 +22,11 @@
  *                   embed the per-point "timeseries" JSON block
  *                   (0 = off, the default; simulated stats are
  *                   bit-identical either way — DESIGN.md §13)
+ *   --sim-threads=N host worker threads INSIDE each simulation
+ *                   (parallel DES kernel, DESIGN.md §15; default 1,
+ *                   max 64). Simulated stats are bit-identical at
+ *                   every value, so --baseline comparisons hold
+ *                   across thread counts
  *   --isolate=M     none (default): in-process thread pool;
  *                   process: one forked, supervised worker per point
  *                   — crashes/hangs/garbage become per-point
@@ -59,12 +64,16 @@
  *   --perf-summary=P  print the throughput fields (suite totals and
  *                   per-tag events/sec) of an existing results file
  *                   and exit; runs nothing
+ *   --speedup-vs=R  with --perf-summary: also print the wall-clock
+ *                   and events/sec speedup of the summarized file
+ *                   over reference results file R (CI passes the
+ *                   --sim-threads=1 run as R)
  *
- * Determinism: each simulation is single-threaded and seeded, and
- * results are collected by queue position, so the tables and the
- * JSON are bit-identical for every --jobs value — and, because
- * results cross the worker pipe at full fidelity, for either
- * --isolate mode.
+ * Determinism: each simulation is seeded and bit-identical at every
+ * --sim-threads value (DESIGN.md §15), and results are collected by
+ * queue position, so the tables and the JSON are bit-identical for
+ * every --jobs value — and, because results cross the worker pipe at
+ * full fidelity, for either --isolate mode.
  *
  * Exit codes: 0 success; 1 fatal error; 3 suite completed but one or
  * more points failed (their status/error is in the JSON); 130
@@ -98,6 +107,7 @@ main(int argc, char **argv)
     std::string check_trace;
     std::string baseline;
     std::string perf_summary;
+    std::string speedup_vs;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -114,6 +124,9 @@ main(int argc, char **argv)
         else if (std::strncmp(arg, "--sample-interval=", 18) == 0)
             opts.sampleInterval =
                 parseU64(arg + 18, "--sample-interval");
+        else if (std::strncmp(arg, "--sim-threads=", 14) == 0)
+            opts.simThreads =
+                parsePositiveUnsigned(arg + 14, "--sim-threads");
         else if (std::strncmp(arg, "--isolate=", 10) == 0) {
             const char *mode = arg + 10;
             if (std::strcmp(mode, "none") == 0)
@@ -166,6 +179,8 @@ main(int argc, char **argv)
             baseline = arg + 11;
         } else if (std::strncmp(arg, "--perf-summary=", 15) == 0) {
             perf_summary = arg + 15;
+        } else if (std::strncmp(arg, "--speedup-vs=", 13) == 0) {
+            speedup_vs = arg + 13;
         } else {
             fatal("unknown option '%s' (see the header of "
                   "tools/cpxbench.cc)",
@@ -181,12 +196,14 @@ main(int argc, char **argv)
 
     if (!perf_summary.empty()) {
         std::string error;
-        if (!printPerfSummary(perf_summary, error)) {
+        if (!printPerfSummary(perf_summary, error, speedup_vs)) {
             std::fprintf(stderr, "cpxbench: %s\n", error.c_str());
             return 1;
         }
         return 0;
     }
+    if (!speedup_vs.empty())
+        fatal("--speedup-vs requires --perf-summary");
 
     if (!check_trace.empty()) {
         std::string error;

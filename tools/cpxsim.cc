@@ -25,6 +25,11 @@
  *   --no-write-cache    plain competitive update [10]
  *   --flwb=N --slwb=N   write buffer entries
  *   --limit=N           abort the run after N simulated ticks
+ *   --sim-threads=N     host worker threads for the parallel DES
+ *                       kernel (default 1; max 64). Simulated stats
+ *                       are bit-identical at every value — see
+ *                       DESIGN.md §15. Forced back to 1 when the
+ *                       coherence checker (--check) is installed.
  *   --stats             dump all component statistics
  *   --trace=TAGS        comma-separated debug tags (SLC,Dir) to stderr
  *
@@ -106,6 +111,7 @@ main(int argc, char **argv)
     std::string trace_out;
     std::size_t trace_buffer = TraceSink::defaultRingCapacity;
     Tick sample_interval = 0;
+    unsigned sim_threads = 1;
     MachineParams params;
 
     for (int i = 1; i < argc; ++i) {
@@ -145,6 +151,8 @@ main(int argc, char **argv)
             params.slwbEntries = parsePositiveUnsigned(v, "--slwb");
         else if (const char *v = value("--limit="))
             limit = parseU64(v, "--limit");
+        else if (const char *v = value("--sim-threads="))
+            sim_threads = parsePositiveUnsigned(v, "--sim-threads");
         else if (arg == "--stats")
             dump_stats = true;
         else if (arg == "--check")
@@ -204,13 +212,13 @@ main(int argc, char **argv)
     }
     params.applyConsistencyDefaults();
 
-    System sys(params);
+    System sys(params, sim_threads);
 
     // The flight recorder observes the protocol layer without
     // perturbing it: simulated stats are identical with it on or off.
     std::unique_ptr<TraceSink> tracer;
     if (!trace_out.empty()) {
-        tracer = std::make_unique<TraceSink>(sys.eq(), params.numProcs,
+        tracer = std::make_unique<TraceSink>(params.numProcs,
                                              trace_buffer);
         sys.setTracer(tracer.get());
         tracer->installFailureDump();
@@ -257,6 +265,12 @@ main(int argc, char **argv)
     std::printf("network        %llu bytes in %llu messages\n",
                 static_cast<unsigned long long>(r.netBytes),
                 static_cast<unsigned long long>(r.netMessages));
+    std::printf("kernel         %u worker(s), %llu slabs, %llu cross "
+                "messages, lookahead %llu pclocks\n",
+                r.simThreads,
+                static_cast<unsigned long long>(r.slabRounds),
+                static_cast<unsigned long long>(r.crossMessages),
+                static_cast<unsigned long long>(r.lookahead));
     if (checker) {
         std::printf("checker        %llu checks, %llu messages "
                     "observed, 0 violations\n",
