@@ -182,7 +182,62 @@ renderDecomposition(const std::vector<JsonValue> &points,
                "extension point)\n\n";
 }
 
-// --- section 2: mesh link utilization -------------------------------------
+std::string
+describeShort(const JsonValue &point)
+{
+    std::string label = textOr(point, "tag", "");
+    if (!label.empty())
+        label += " ";
+    label += textOr(point, "app", "?");
+    if (point.has("config")) {
+        label += " under " +
+                 textOr(point.at("config"), "protocol", "?") + "/" +
+                 textOr(point.at("config"), "network", "?");
+    }
+    return label;
+}
+
+// --- section 2: directory pressure ----------------------------------------
+
+void
+renderDirectoryPressure(const std::vector<JsonValue> &points,
+                        std::string &out)
+{
+    out += "## Directory pressure (imprecise sharer sets)\n\n";
+
+    // Only points carrying a non-full-map "directory" block are
+    // interesting; full-map points can neither broadcast nor evict.
+    bool rendered = false;
+    for (const JsonValue &point : points) {
+        if (!point.has("directory"))
+            continue;
+        const JsonValue &dir = point.at("directory");
+        std::string rep = textOr(dir, "rep", "fullmap");
+        if (rep == "fullmap")
+            continue;
+        if (!rendered) {
+            out += "| point | rep | overflow broadcasts | "
+                   "pointer evictions | inval msgs |\n";
+            out += "|---|---|---:|---:|---:|\n";
+            rendered = true;
+        }
+        double invals = 0;
+        if (point.has("protocolEvents"))
+            invals = numberOr(point.at("protocolEvents"),
+                              "invalidationsSent", 0);
+        append(out, "| %s | %s | %.0f | %.0f | %.0f |\n",
+               describeShort(point).c_str(), rep.c_str(),
+               numberOr(dir, "overflowBroadcasts", 0),
+               numberOr(dir, "pointerEvictions", 0), invals);
+    }
+    if (rendered)
+        out += "\n";
+    else
+        out += "(every point ran a full-map directory — nothing to "
+               "overflow)\n\n";
+}
+
+// --- section 3: mesh link utilization -------------------------------------
 
 /** One column of a point's timeseries block, decoded. */
 struct SeriesView
@@ -229,21 +284,6 @@ viewSeries(const JsonValue &point, SeriesView &view)
         if (row.items.size() != view.names.size())
             return false;
     return true;
-}
-
-std::string
-describeShort(const JsonValue &point)
-{
-    std::string label = textOr(point, "tag", "");
-    if (!label.empty())
-        label += " ";
-    label += textOr(point, "app", "?");
-    if (point.has("config")) {
-        label += " under " +
-                 textOr(point.at("config"), "protocol", "?") + "/" +
-                 textOr(point.at("config"), "network", "?");
-    }
-    return label;
 }
 
 void
@@ -341,7 +381,7 @@ renderLinkUtilization(const std::vector<JsonValue> &points,
                "with --sample-interval=N on a mesh target)\n\n";
 }
 
-// --- section 3: phase anomalies -------------------------------------------
+// --- section 4: phase anomalies -------------------------------------------
 
 void
 renderAnomalies(const std::vector<JsonValue> &points,
@@ -478,6 +518,7 @@ generateReport(const JsonValue &doc, const ReportOptions &opts,
     append(out, "\n");
 
     renderDecomposition(points, out);
+    renderDirectoryPressure(points, out);
     renderLinkUtilization(points, opts.topLinks, out);
     renderAnomalies(points, opts.topAnomalies, out);
     return true;

@@ -326,7 +326,7 @@ pointConfigHash(const SweepPoint &point, Tick sample_interval)
     // --sim-threads is deliberately absent: the parallel kernel is
     // bit-identical at every worker count, so cached results are
     // interchangeable across thread configurations.
-    key << "cpx-point-1|" << point.app << '|' << d(point.scale) << '|'
+    key << "cpx-point-2|" << point.app << '|' << d(point.scale) << '|'
         << point.seed << '|' << sample_interval << '|' << p.numProcs
         << '|' << p.blockBytes << '|' << p.pageBytes << '|'
         << p.flcBytes << '|' << p.flcHitLatency << '|'
@@ -345,7 +345,11 @@ pointConfigHash(const SweepPoint &point, Tick sample_interval)
         << p.prefetchInitialDegree << '|' << p.prefetchAdaptive << '|'
         << d(p.prefetchHighMark) << '|' << d(p.prefetchLowMark) << '|'
         << p.competitiveThreshold << '|' << p.writeCacheBlocks << '|'
-        << p.writeCacheEnabled;
+        << p.writeCacheEnabled << '|'
+        << static_cast<int>(p.directory.rep) << '|'
+        << p.directory.pointers << '|'
+        << static_cast<int>(p.directory.overflow) << '|'
+        << p.directory.coarseness;
     char buf[17];
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(fnv1a64(key.str())));
@@ -1101,7 +1105,18 @@ writeJson(const std::string &path, const std::string &suite,
             << (p.writeCacheEnabled ? "true" : "false") << "},\n";
         // New members ride as siblings of the gated stats fields so
         // a pre-existing baseline stays comparable (see the gated[]
-        // list in compareToBaseline).
+        // list in compareToBaseline). The directory block in
+        // particular must NOT join the gated "config" object:
+        // jsonEquals compares member counts, so growing "config"
+        // would orphan every committed baseline.
+        out << "      \"directory\": {"
+            << "\"rep\": " << str(p.directory.name());
+        if (r.ok())
+            out << ", \"overflowBroadcasts\": "
+                << jsonNumber(s.dirOverflowBroadcasts)
+                << ", \"pointerEvictions\": "
+                << jsonNumber(s.dirPointerEvictions);
+        out << "},\n";
         if (!r.configHash.empty())
             out << "      \"configHash\": " << str(r.configHash)
                 << ",\n";
@@ -2143,6 +2158,10 @@ serializeWireResult(const SweepResult &res)
             << ",\"combinedWrites\":" << jsonNumber(s.combinedWrites)
             << ",\"counterInvalidations\":"
             << jsonNumber(s.counterInvalidations)
+            << ",\"dirOverflowBroadcasts\":"
+            << jsonNumber(s.dirOverflowBroadcasts)
+            << ",\"dirPointerEvictions\":"
+            << jsonNumber(s.dirPointerEvictions)
             << ",\"avgReadMissLatency\":"
             << jsonNumber(s.avgReadMissLatency);
         out << ",\"readMissLatency\":";
@@ -2249,6 +2268,8 @@ parseWireResult(const std::string &line, SweepResult &out,
     s.softwarePrefetches = r.u64("softwarePrefetches");
     s.combinedWrites = r.u64("combinedWrites");
     s.counterInvalidations = r.u64("counterInvalidations");
+    s.dirOverflowBroadcasts = r.u64Opt("dirOverflowBroadcasts", 0);
+    s.dirPointerEvictions = r.u64Opt("dirPointerEvictions", 0);
     s.avgReadMissLatency = r.num("avgReadMissLatency");
     s.eventsExecuted = r.u64("eventsExecuted");
     s.peakPendingEvents = r.u64("peakPendingEvents");

@@ -64,7 +64,6 @@ CoherenceChecker::checkBlock(Addr block)
     ++checks;
 
     const unsigned words = sys.amap().wordsPerBlock();
-    auto bit = [](NodeId n) { return std::uint64_t(1) << n; };
 
     if (snap.modified) {
         // SWMR: exactly one copy, and the directory knows whose.
@@ -72,12 +71,17 @@ CoherenceChecker::checkBlock(Addr block)
             fail(block, "MODIFIED entry without a valid owner");
             return;
         }
-        if (snap.presence != bit(snap.owner)) {
-            char buf[96];
+        // An exact sharer set must name exactly the owner; an
+        // over-approximating one (broadcast / coarse-vector) must at
+        // least contain it.
+        if (snap.exact
+                ? snap.sharers != NodeMask::single(snap.owner)
+                : !snap.sharers.test(snap.owner)) {
+            char buf[112];
             std::snprintf(buf, sizeof(buf),
-                          "MODIFIED presence %#" PRIx64
-                          " != owner bit %#" PRIx64 " (owner %u)",
-                          snap.presence, bit(snap.owner),
+                          "MODIFIED sharer set (%u members, low64 "
+                          "%#" PRIx64 ") inconsistent with owner %u",
+                          snap.sharers.count(), snap.presence,
                           unsigned(snap.owner));
             fail(block, buf);
         }
@@ -124,13 +128,15 @@ CoherenceChecker::checkBlock(Addr block)
                           unsigned(n));
             fail(block, buf);
         }
-        if (!(snap.presence & bit(n))) {
-            // Presence may be a superset of the holders (SHARED
-            // replacements are silent) but never a subset.
+        if (!snap.sharers.test(n)) {
+            // The sharer set may be a superset of the holders
+            // (SHARED replacements are silent; broadcast and
+            // coarse-vector sets over-approximate by design) but
+            // never a subset.
             char buf[96];
             std::snprintf(buf, sizeof(buf),
-                          "node %u caches the block but presence "
-                          "%#" PRIx64 " lacks its bit",
+                          "node %u caches the block but the sharer "
+                          "set (low64 %#" PRIx64 ") omits it",
                           unsigned(n), snap.presence);
             fail(block, buf);
         }

@@ -33,6 +33,25 @@ makeParams(ProtocolConfig protocol,
     return p;
 }
 
+/**
+ * Scaled-machine variant: node count and directory representation on
+ * top of makeParams (the scaling-matrix experiments; node counts
+ * past 64 need a directory whose sharer set can cover them —
+ * System construction validates, see system.cc).
+ */
+inline MachineParams
+makeScaledParams(ProtocolConfig protocol, Consistency consistency,
+                 unsigned num_nodes, DirectoryParams directory,
+                 NetworkKind network = NetworkKind::Uniform,
+                 unsigned mesh_link_bits = 64)
+{
+    MachineParams p =
+        makeParams(protocol, consistency, network, mesh_link_bits);
+    p.numProcs = num_nodes;
+    p.directory = directory;
+    return p;
+}
+
 /** The paper's Figure 2 protocol order (left to right). */
 inline std::array<ProtocolConfig, 8>
 figure2Protocols()

@@ -45,6 +45,8 @@ collectStats(System &sys, Tick exec_time)
         r.invalidationsSent += dir.invalidationsSent();
         r.updatesForwarded += dir.updatesForwarded();
         r.migratoryDetections += dir.migratoryDetections();
+        r.dirOverflowBroadcasts += dir.overflowBroadcasts();
+        r.dirPointerEvictions += dir.pointerEvictions();
     }
 
     // Weighted mean of per-node read-miss latencies.
@@ -201,6 +203,10 @@ formatSystemStats(System &sys)
         emit("node%u.dir.migratoryDemotions %llu\n", n,
              ull(dir.migratoryDemotions()));
         emit("node%u.dir.writeBacks %llu\n", n, ull(dir.writeBacks()));
+        emit("node%u.dir.overflowBroadcasts %llu\n", n,
+             ull(dir.overflowBroadcasts()));
+        emit("node%u.dir.pointerEvictions %llu\n", n,
+             ull(dir.pointerEvictions()));
         emit("node%u.locks.acquires %llu\n", n,
              ull(node.locks.acquires()));
         emit("node%u.locks.queued %llu\n", n,

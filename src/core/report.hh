@@ -60,6 +60,8 @@ struct RunResult
     std::uint64_t softwarePrefetches = 0;
     std::uint64_t combinedWrites = 0;       //!< CW write-cache merges
     std::uint64_t counterInvalidations = 0; //!< CW competitive expiries
+    std::uint64_t dirOverflowBroadcasts = 0; //!< limptr sets gone broadcast
+    std::uint64_t dirPointerEvictions = 0;  //!< limptr+E sharers evicted
     double avgReadMissLatency = 0;
 
     // Per-transaction latency distributions, merged across nodes

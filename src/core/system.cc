@@ -6,6 +6,7 @@
 
 #include "core/diagnostics.hh"
 #include "net/chaos_network.hh"
+#include "proto/sharer_set.hh"
 #include "obs/metrics.hh"
 #include "sim/logging.hh"
 
@@ -20,8 +21,27 @@ System::System(const MachineParams &machine_params,
       backingStore(params_.pageBytes),
       sharedHeap(addressMap)
 {
-    if (params_.numProcs == 0 || params_.numProcs > 64)
-        fatal("numProcs must be in 1..64 (presence vector width)");
+    if (params_.numProcs == 0 || params_.numProcs > maxNodes)
+        fatal("numProcs must be in 1..%u (maxNodes)", maxNodes);
+    switch (params_.directory.rep) {
+      case DirRep::FullMap:
+        break;
+      case DirRep::LimitedPtr:
+        // Two pointers minimum: a fetch downgrade re-installs the
+        // requester AND the previous owner in one step
+        // (directory.cc onFetchResp) and must never overflow.
+        if (params_.directory.pointers < 2 ||
+            params_.directory.pointers > SharerSet::maxPointers) {
+            fatal("limited-pointer directory needs 2..%u pointers "
+                  "(got %u)",
+                  SharerSet::maxPointers, params_.directory.pointers);
+        }
+        break;
+      case DirRep::CoarseVector:
+        if (params_.directory.coarseness == 0)
+            fatal("coarse-vector directory needs coarseness >= 1");
+        break;
+    }
     if (simThreads_ == 0 || simThreads_ > 64)
         fatal("sim-threads must be in 1..64");
     if (params_.protocol.compUpdate &&

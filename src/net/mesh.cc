@@ -16,10 +16,18 @@ MeshNetwork::MeshNetwork(EventQueue &event_queue, unsigned num_nodes,
 {
     if (num_nodes == 0)
         fatal("mesh needs at least one node");
+    if (num_nodes > maxNodes)
+        fatal("mesh supports at most %u nodes (got %u)", maxNodes,
+              num_nodes);
     if (link_width_bits == 0)
         fatal("mesh link width must be positive");
 
-    // Near-square factorization, wider than tall (4x4 for 16 nodes).
+    // Near-square factorization, wider than tall (4x4 for 16 nodes,
+    // 8x8 for 64, 16x16 for 256). Non-square counts leave "holes" —
+    // router positions in the last row with no node attached. Those
+    // positions still route (link state covers the full cols×rows
+    // rectangle and XY paths may legitimately cross them); they just
+    // never source or sink traffic.
     cols = static_cast<unsigned>(
         std::ceil(std::sqrt(static_cast<double>(num_nodes))));
     rowCount = (num_nodes + cols - 1) / cols;
@@ -46,6 +54,18 @@ MeshNetwork::registerMetrics(MetricRegistry &registry) const
     // are keyed by grid coordinates, not node ids.
     static const char *const dirName[numDirections] = {
         "east", "west", "north", "south"};
+    // Coordinates are zero-padded to the grid's digit width so names
+    // stay unambiguous and lexically sortable past 9 columns ("x12" /
+    // "x02", not "x12" mixing with "x1"). Grids up to 10 wide keep
+    // the historical single-digit names (committed baselines and
+    // golden reports depend on them).
+    auto coordName = [](unsigned v, unsigned extent) {
+        std::string s = std::to_string(v);
+        std::string width = std::to_string(extent - 1);
+        while (s.size() < width.size())
+            s.insert(s.begin(), '0');
+        return s;
+    };
     for (unsigned y = 0; y < rowCount; ++y) {
         for (unsigned x = 0; x < cols; ++x) {
             for (unsigned d = 0; d < numDirections; ++d) {
@@ -57,8 +77,8 @@ MeshNetwork::registerMetrics(MetricRegistry &registry) const
                 }
                 unsigned idx =
                     linkIndex(x, y, static_cast<Direction>(d));
-                std::string base = "mesh.x" + std::to_string(x) +
-                                   "y" + std::to_string(y) + "." +
+                std::string base = "mesh.x" + coordName(x, cols) +
+                                   "y" + coordName(y, rowCount) + "." +
                                    dirName[d];
                 registry.addValue(base + ".flits", linkFlits[idx]);
                 registry.addValue(base + ".waitTicks", linkWait[idx]);

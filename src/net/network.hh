@@ -66,9 +66,6 @@ class Network
   public:
     using DeliverFn = EventQueue::Callback;
 
-    /** Cap on addressable nodes (MachineParams enforces <= 64). */
-    static constexpr unsigned maxNodes = 64;
-
     explicit Network(EventQueue &event_queue) : eq(event_queue) {}
     virtual ~Network() = default;
 

@@ -75,9 +75,9 @@ describeRecord(const TraceRecord &r)
       case TraceKind::DirState:
         append(out, "blk=%#llx presence=%#llx owner=%d mod=%u",
                u(r.addr), u(r.arg),
-               (r.aux & 0xffff) == 0xffff
+               traceAuxPeer(r.aux) == tracePeerNone
                    ? -1
-                   : static_cast<int>(r.aux & 0xffff),
+                   : static_cast<int>(traceAuxPeer(r.aux)),
                r.aux >> 16);
         break;
       case TraceKind::TxnStart:

@@ -92,7 +92,16 @@ traceMsgAux(NodeId peer, unsigned msg_class)
     return static_cast<std::uint32_t>(peer) | (msg_class << 16);
 }
 
-constexpr NodeId traceAuxPeer(std::uint32_t aux) { return aux & 0xffff; }
+/**
+ * Peer half of a packed aux word. `tracePeerNone` (sim/types.hh)
+ * marks "no peer"; the static_assert there keeps every real NodeId
+ * below it, so 256-node traces cannot alias the sentinel.
+ */
+constexpr NodeId
+traceAuxPeer(std::uint32_t aux)
+{
+    return aux & tracePeerNone;
+}
 constexpr unsigned traceAuxClass(std::uint32_t aux) { return aux >> 16; }
 
 /** Fixed-capacity overwrite-oldest record ring. */

@@ -10,7 +10,8 @@ namespace cpx
 {
 
 DirectoryController::DirectoryController(NodeId node, Fabric &f)
-    : self(node), fabric(f), params(f.params())
+    : self(node), fabric(f), params(f.params()),
+      scfg(params.directory, params.numProcs)
 {
 }
 
@@ -88,7 +89,8 @@ DirectoryController::process(Addr block, const Queued &req)
     CPX_TRACE("Dir",
               "h%u blk=%llx kind=%d from=%u mod=%d owner=%u pres=%llx",
               self, (unsigned long long)block, (int)req.kind, req.from,
-              e.modified, e.owner, (unsigned long long)e.presence);
+              e.modified, e.owner,
+              (unsigned long long)e.sharers.expand(scfg).low64());
     switch (req.kind) {
       case ReqKind::Read:
         processRead(block, e, req);
@@ -119,8 +121,9 @@ DirectoryController::finish(Addr block, Entry &e)
     if (ProtocolObserver *obs = fabric.observer())
         obs->onDirectoryTransition(self, block);
     CPX_RECORD(fabric.tracer(), self, TraceKind::DirState, block,
-               e.presence,
-               (e.owner == invalidNode ? 0xffffu : e.owner & 0xffffu) |
+               e.sharers.expand(scfg).low64(),
+               (e.owner == invalidNode ? tracePeerNone
+                                       : e.owner & tracePeerNone) |
                    (e.modified ? 1u << 16 : 0u));
     if (!e.queue.empty())
         startNext(block);
@@ -137,14 +140,14 @@ DirectoryController::processRead(Addr block, Entry &e, const Queued &req)
 
     if (!e.modified) {
         if (e.migratory && params.protocol.migratory) {
-            if (e.presence == 0) {
+            if (e.sharers.empty(scfg)) {
                 // Migratory block with no cached copy: hand out an
                 // exclusive copy straight away so the expected write
                 // hits DIRTY (this is also how P+M realizes
                 // hardware read-exclusive prefetching).
                 e.modified = true;
                 e.owner = from;
-                e.presence = bit(from);
+                e.sharers.setOnly(scfg, from);
                 sendReply(block, from, ReplyKind::DataExclusive,
                           msg_bytes::block(params.blockBytes));
                 finish(block, e);
@@ -155,7 +158,27 @@ DirectoryController::processRead(Addr block, Entry &e, const Queued &req)
             e.migratory = false;
             ++statMigDemote;
         }
-        e.presence |= bit(from);
+        switch (e.sharers.add(scfg, from)) {
+          case SharerSet::AddOutcome::NeedsEviction: {
+            // Dir_i_B pointer eviction: invalidate the oldest
+            // pointed-to sharer, then grant once its ack frees the
+            // slot. The block stays in service meanwhile.
+            ++statPtrEvict;
+            NodeId victim = e.sharers.victim(scfg);
+            e.txn = Txn{.kind = ReqKind::Read,
+                        .requester = from,
+                        .prefetch = req.prefetch,
+                        .evicting = true,
+                        .pendingAcks = 1};
+            sendInvalidate(block, victim);
+            return;
+          }
+          case SharerSet::AddOutcome::WentBroadcast:
+            ++statOverflowBcast;
+            break;
+          default:
+            break;
+        }
         sendReply(block, from, ReplyKind::DataShared,
                   msg_bytes::block(params.blockBytes));
         finish(block, e);
@@ -192,20 +215,24 @@ DirectoryController::detectMigratoryOnWrite(Entry &e, NodeId from)
     if (!params.protocol.migratory || params.protocol.compUpdate)
         return;  // CW+M uses the probe heuristic instead (§3.4)
 
-    std::uint64_t others = e.presence & ~bit(from);
+    NodeMask others = e.sharers.expand(scfg);
+    others.clear(from);
     if (e.migratory) {
         // An ownership request with several other sharers means the
         // block stopped behaving migratorily.
-        if (popcount(others) > 1) {
+        if (others.count() > 1) {
             e.migratory = false;
             ++statMigDemote;
         }
         return;
     }
     // Classic detection [2,12]: write by `from` when exactly one
-    // other copy exists and it belongs to the previous writer.
+    // other copy exists and it belongs to the previous writer. The
+    // set must be exact — an over-approximated (broadcast/coarse)
+    // set cannot prove the single-copy pattern.
     if (e.lastWriter != invalidNode && e.lastWriter != from &&
-        others == bit(e.lastWriter)) {
+        e.sharers.exact(scfg) &&
+        others == NodeMask::single(e.lastWriter)) {
         e.migratory = true;
         ++statMigDetect;
     }
@@ -235,11 +262,12 @@ DirectoryController::processWrite(Addr block, Entry &e, const Queued &req)
 
     detectMigratoryOnWrite(e, from);
 
-    std::uint64_t others = e.presence & ~bit(from);
-    if (others == 0) {
+    NodeMask others = e.sharers.expand(scfg);
+    others.clear(from);
+    if (others.none()) {
         e.modified = true;
         e.owner = from;
-        e.presence = bit(from);
+        e.sharers.setOnly(scfg, from);
         e.lastWriter = from;
         sendReply(block, from, ReplyKind::DataExclusive,
                   msg_bytes::block(params.blockBytes));
@@ -249,10 +277,8 @@ DirectoryController::processWrite(Addr block, Entry &e, const Queued &req)
 
     e.txn = Txn{.kind = ReqKind::Write,
                 .requester = from,
-                .pendingAcks = popcount(others)};
-    for (NodeId j = 0; j < params.numProcs; ++j)
-        if (others & bit(j))
-            sendInvalidate(block, j);
+                .pendingAcks = others.count()};
+    others.forEach([&](NodeId j) { sendInvalidate(block, j); });
 }
 
 void
@@ -278,9 +304,11 @@ DirectoryController::processUpgrade(Addr block, Entry &e,
         return;
     }
 
-    if (!(e.presence & bit(from))) {
-        // Racing invalidation pruned the requester: serve as a
-        // write miss so data travels with the ownership grant.
+    if (!e.sharers.preciseContains(scfg, from)) {
+        // The requester's SHARED copy is unprovable — either a
+        // racing invalidation pruned it, or the representation
+        // (broadcast / coarse-vector) cannot name members. Serve as
+        // a write miss so data travels with the ownership grant.
         processWrite(block, e,
                      Queued{ReqKind::Write, from, false, 0, {}});
         return;
@@ -288,11 +316,12 @@ DirectoryController::processUpgrade(Addr block, Entry &e,
 
     detectMigratoryOnWrite(e, from);
 
-    std::uint64_t others = e.presence & ~bit(from);
-    if (others == 0) {
+    NodeMask others = e.sharers.expand(scfg);
+    others.clear(from);
+    if (others.none()) {
         e.modified = true;
         e.owner = from;
-        e.presence = bit(from);
+        e.sharers.setOnly(scfg, from);
         e.lastWriter = from;
         sendReply(block, from, ReplyKind::UpgradeAck,
                   msg_bytes::control);
@@ -302,10 +331,8 @@ DirectoryController::processUpgrade(Addr block, Entry &e,
 
     e.txn = Txn{.kind = ReqKind::Upgrade,
                 .requester = from,
-                .pendingAcks = popcount(others)};
-    for (NodeId j = 0; j < params.numProcs; ++j)
-        if (others & bit(j))
-            sendInvalidate(block, j);
+                .pendingAcks = others.count()};
+    others.forEach([&](NodeId j) { sendInvalidate(block, j); });
 }
 
 void
@@ -315,14 +342,32 @@ DirectoryController::onInvAck(Addr block, NodeId from)
     if (!e.txn)
         panic("stray invalidation ack for block %llx from %u",
               static_cast<unsigned long long>(block), from);
-    e.presence &= ~bit(from);
+    e.sharers.remove(scfg, from);
     if (--e.txn->pendingAcks == 0) {
         // Final ack: one memory access to update the directory state
-        // before the ownership grant leaves.
+        // before the grant leaves.
         fabric.eq().scheduleIn(params.memAccessLatency, [this, block] {
-            completeOwnership(block, entries[block]);
+            Entry &entry = entries[block];
+            if (entry.txn->evicting)
+                completeEvictedRead(block, entry);
+            else
+                completeOwnership(block, entry);
         });
     }
+}
+
+void
+DirectoryController::completeEvictedRead(Addr block, Entry &e)
+{
+    Txn &txn = *e.txn;
+    // The victim's ack freed a pointer; this add must fit.
+    if (e.sharers.add(scfg, txn.requester) !=
+        SharerSet::AddOutcome::Added)
+        panic("pointer eviction for block %llx freed no slot",
+              static_cast<unsigned long long>(block));
+    sendReply(block, txn.requester, ReplyKind::DataShared,
+              msg_bytes::block(params.blockBytes));
+    finish(block, e);
 }
 
 void
@@ -331,7 +376,7 @@ DirectoryController::completeOwnership(Addr block, Entry &e)
     Txn &txn = *e.txn;
     e.modified = true;
     e.owner = txn.requester;
-    e.presence = bit(txn.requester);
+    e.sharers.setOnly(scfg, txn.requester);
     e.lastWriter = txn.requester;
     if (txn.kind == ReqKind::Upgrade) {
         sendReply(block, txn.requester, ReplyKind::UpgradeAck,
@@ -373,26 +418,28 @@ DirectoryController::onFetchResp(Addr block, NodeId from,
                 }
                 if (e.migratory && params.protocol.migratory) {
                     e.owner = req;
-                    e.presence = bit(req);
+                    e.sharers.setOnly(scfg, req);
                     // stays modified: exclusive handoff
                     sendReply(block, req, ReplyKind::DataExclusive,
                               msg_bytes::block(params.blockBytes));
                 } else {
                     e.modified = false;
                     e.owner = invalidNode;
-                    e.presence = bit(req);
+                    e.sharers.setOnly(scfg, req);
                     sendReply(block, req, ReplyKind::DataShared,
                               msg_bytes::block(params.blockBytes));
                 }
             } else {
                 // Ordinary downgrade: previous owner keeps a SHARED
-                // copy (unless its line was already gone).
+                // copy (unless its line was already gone). Two
+                // members always fit: System validation requires at
+                // least two limited pointers.
                 e.modified = false;
                 NodeId prev_owner = e.owner;
                 e.owner = invalidNode;
-                e.presence = bit(req);
+                e.sharers.setOnly(scfg, req);
                 if (was_present)
-                    e.presence |= bit(prev_owner);
+                    e.sharers.add(scfg, prev_owner);
                 sendReply(block, req, ReplyKind::DataShared,
                           msg_bytes::block(params.blockBytes));
             }
@@ -402,7 +449,7 @@ DirectoryController::onFetchResp(Addr block, NodeId from,
           case ReqKind::Upgrade:
             e.modified = true;
             e.owner = req;
-            e.presence = bit(req);
+            e.sharers.setOnly(scfg, req);
             e.lastWriter = req;
             sendReply(block, req, ReplyKind::DataExclusive,
                       msg_bytes::block(params.blockBytes));
@@ -416,7 +463,7 @@ DirectoryController::onFetchResp(Addr block, NodeId from,
             applyUpdateToMemory(block, txn.dirtyMask, txn.words);
             e.modified = false;
             e.owner = invalidNode;
-            e.presence = 0;
+            e.sharers.clearAll();
             e.lastUpdater = req;
             sendReply(block, req, ReplyKind::UpdateDone,
                       msg_bytes::control);
@@ -446,7 +493,7 @@ DirectoryController::processWriteBack(Addr block, Entry &e,
         } else {
             e.modified = false;
             e.owner = invalidNode;
-            e.presence = 0;
+            e.sharers.clearAll();
         }
     }
     // Otherwise the write-back is stale (the block moved on while
@@ -501,27 +548,27 @@ DirectoryController::processUpdate(Addr block, Entry &e,
 
     // §3.4 heuristic: consecutive updates by different processors
     // with multiple cached copies trigger a migratory probe.
+    NodeMask present = e.sharers.expand(scfg);
     bool may_probe = params.protocol.migratory &&
                      params.protocol.compUpdate && !e.migratory &&
-                     popcount(e.presence) > 1 &&
+                     present.count() > 1 &&
                      e.lastUpdater != invalidNode &&
                      e.lastUpdater != from;
     if (may_probe) {
         ++statProbes;
         e.txn = Txn{.kind = ReqKind::Update,
                     .requester = from,
-                    .pendingAcks = popcount(e.presence),
+                    .pendingAcks = present.count(),
                     .dirtyMask = req.dirtyMask,
                     .words = req.words,
                     .probing = true};
-        for (NodeId j = 0; j < params.numProcs; ++j)
-            if (e.presence & bit(j))
-                sendMigProbe(block, j);
+        present.forEach([&](NodeId j) { sendMigProbe(block, j); });
         return;
     }
 
-    std::uint64_t targets = e.presence & ~bit(from);
-    if (targets == 0) {
+    NodeMask targets = present;
+    targets.clear(from);
+    if (targets.none()) {
         e.lastUpdater = from;
         sendReply(block, from, ReplyKind::UpdateDone,
                   msg_bytes::control);
@@ -531,7 +578,7 @@ DirectoryController::processUpdate(Addr block, Entry &e,
 
     e.txn = Txn{.kind = ReqKind::Update,
                 .requester = from,
-                .pendingAcks = popcount(targets),
+                .pendingAcks = targets.count(),
                 .dirtyMask = req.dirtyMask,
                 .words = req.words};
     forwardUpdate(block, e, targets);
@@ -539,15 +586,13 @@ DirectoryController::processUpdate(Addr block, Entry &e,
 
 void
 DirectoryController::forwardUpdate(Addr block, Entry &e,
-                                   std::uint64_t targets)
+                                   const NodeMask &targets)
 {
-    for (NodeId j = 0; j < params.numProcs; ++j) {
-        if (targets & bit(j)) {
-            ++statUpdates;
-            sendUpdateMsg(block, j, e.txn->dirtyMask, e.txn->words,
-                          e.txn->requester);
-        }
-    }
+    targets.forEach([&](NodeId j) {
+        ++statUpdates;
+        sendUpdateMsg(block, j, e.txn->dirtyMask, e.txn->words,
+                      e.txn->requester);
+    });
 }
 
 void
@@ -559,7 +604,7 @@ DirectoryController::onUpdateAck(Addr block, NodeId from,
         panic("stray update ack for block %llx",
               static_cast<unsigned long long>(block));
     if (invalidated)
-        e.presence &= ~bit(from);
+        e.sharers.remove(scfg, from);
     if (--e.txn->pendingAcks == 0) {
         fabric.eq().scheduleIn(params.memAccessLatency, [this, block] {
             Entry &entry = entries[block];
@@ -581,10 +626,10 @@ DirectoryController::onMigProbeResp(Addr block, NodeId from,
               static_cast<unsigned long long>(block));
     Txn &txn = *e.txn;
     if (gave_up) {
-        e.presence &= ~bit(from);
+        e.sharers.remove(scfg, from);
     } else {
         txn.allGaveUp = false;
-        txn.keepers |= bit(from);
+        txn.keepers.set(from);
     }
     if (--txn.pendingAcks > 0)
         return;
@@ -595,15 +640,16 @@ DirectoryController::onMigProbeResp(Addr block, NodeId from,
         ++statMigDetect;
     }
     txn.probing = false;
-    std::uint64_t targets = txn.keepers & ~bit(txn.requester);
-    if (targets == 0) {
+    NodeMask targets = txn.keepers;
+    targets.clear(txn.requester);
+    if (targets.none()) {
         e.lastUpdater = txn.requester;
         sendReply(block, txn.requester, ReplyKind::UpdateDone,
                   msg_bytes::control);
         finish(block, e);
         return;
     }
-    txn.pendingAcks = popcount(targets);
+    txn.pendingAcks = targets.count();
     forwardUpdate(block, e, targets);
 }
 
@@ -679,7 +725,9 @@ DirectoryController::inspect(Addr block) const
     const Entry &e = it->second;
     s.modified = e.modified;
     s.owner = e.owner;
-    s.presence = e.presence;
+    s.sharers = e.sharers.expand(scfg);
+    s.presence = s.sharers.low64();
+    s.exact = e.sharers.exact(scfg);
     s.migratory = e.migratory;
     s.inService = e.inService;
     return s;
@@ -721,7 +769,7 @@ DirectoryController::inServiceDump() const
         d.queueDepth = e.queue.size();
         d.modified = e.modified;
         d.owner = e.owner;
-        d.presence = e.presence;
+        d.presence = e.sharers.expand(scfg).low64();
         dumps.push_back(d);
     }
     return dumps;

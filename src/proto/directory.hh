@@ -1,10 +1,12 @@
 /**
  * @file
- * Full-map directory controller (one per node, §2 of the paper).
+ * Directory controller (one per node, §2 of the paper).
  *
  * Implements the BASIC write-invalidate protocol — two stable memory
- * states (CLEAN / MODIFIED), a presence-flag vector, and transient
- * states realized as an explicit per-block service queue — plus the
+ * states (CLEAN / MODIFIED), a sharer set whose representation is
+ * configurable (full-map / limited-pointer / coarse-vector, see
+ * proto/sharer_set.hh and DESIGN.md §16), and transient states
+ * realized as an explicit per-block service queue — plus the
  * home-side halves of the three extensions:
  *
  *  - P:  prefetch read requests are ordinary read misses at the home
@@ -32,6 +34,7 @@
 
 #include "proto/fabric.hh"
 #include "proto/messages.hh"
+#include "proto/sharer_set.hh"
 #include "sim/stats.hh"
 
 namespace cpx
@@ -75,7 +78,12 @@ class DirectoryController
     {
         bool modified = false;
         NodeId owner = invalidNode;
+        /** Expanded sharers, low 64 bits (legacy view for ≤64 nodes). */
         std::uint64_t presence = 0;
+        /** Expanded sharers over the full node range. */
+        NodeMask sharers;
+        /** Whether `sharers` is exact or a superset of the holders. */
+        bool exact = true;
         bool migratory = false;
         bool inService = false;
     };
@@ -118,6 +126,14 @@ class DirectoryController
         return statMigDemote.value();
     }
     std::uint64_t writeBacks() const { return statWritebacks.value(); }
+    /** LimitedPtr: times a set overflowed into broadcast mode. */
+    std::uint64_t overflowBroadcasts() const {
+        return statOverflowBcast.value();
+    }
+    /** LimitedPtr+Evict: sharers invalidated to free a pointer. */
+    std::uint64_t pointerEvictions() const {
+        return statPtrEvict.value();
+    }
 
   private:
     enum class ReqKind
@@ -145,19 +161,20 @@ class DirectoryController
         NodeId requester;
         bool prefetch = false;
         bool fetchInv = false;     //!< owner must invalidate, not downgrade
+        bool evicting = false;     //!< pointer eviction mid-read
         unsigned pendingAcks = 0;
         std::uint32_t dirtyMask = 0;            //!< CW update payload
         std::vector<std::uint32_t> words;       //!< CW update payload
         bool probing = false;      //!< CW+M migratory probe phase
         bool allGaveUp = true;
-        std::uint64_t keepers = 0; //!< probe survivors
+        NodeMask keepers;          //!< probe survivors
     };
 
     struct Entry
     {
         bool modified = false;
         NodeId owner = invalidNode;
-        std::uint64_t presence = 0;
+        SharerSet sharers;
         bool migratory = false;
         NodeId lastWriter = invalidNode;
         NodeId lastUpdater = invalidNode;
@@ -167,11 +184,6 @@ class DirectoryController
         std::optional<Txn> txn;
         std::deque<Queued> queue;
     };
-
-    static std::uint64_t bit(NodeId n) { return std::uint64_t(1) << n; }
-    static unsigned popcount(std::uint64_t v) {
-        return static_cast<unsigned>(__builtin_popcountll(v));
-    }
 
     /** Enqueue a request and start service if the block is idle. */
     void enqueue(Addr block, Queued req);
@@ -187,6 +199,9 @@ class DirectoryController
     /** Classic migratory detection on an ownership request (non-CW). */
     void detectMigratoryOnWrite(Entry &e, NodeId from);
 
+    /** Grant the shared copy a pointer eviction was making room for. */
+    void completeEvictedRead(Addr block, Entry &e);
+
     /** Finish the current request and pick up the next queued one. */
     void finish(Addr block, Entry &e);
 
@@ -194,7 +209,7 @@ class DirectoryController
     void completeOwnership(Addr block, Entry &e);
 
     /** Forward a CW update to @p targets and finish when acked. */
-    void forwardUpdate(Addr block, Entry &e, std::uint64_t targets);
+    void forwardUpdate(Addr block, Entry &e, const NodeMask &targets);
 
     /** Apply a combined write's dirty words to home memory. */
     void applyUpdateToMemory(Addr block, std::uint32_t mask,
@@ -212,6 +227,7 @@ class DirectoryController
     NodeId self;
     Fabric &fabric;
     const MachineParams &params;
+    SharerConfig scfg;
     std::unordered_map<Addr, Entry> entries;
 
     Counter statReads;
@@ -224,6 +240,8 @@ class DirectoryController
     Counter statMigDemote;
     Counter statWritebacks;
     Counter statProbes;
+    Counter statOverflowBcast;
+    Counter statPtrEvict;
 };
 
 } // namespace cpx

@@ -60,6 +60,101 @@ struct ProtocolConfig
     static ProtocolConfig pcwm() { return {true, true, true}; }
 };
 
+/** Directory sharer-set representation (DESIGN.md §16). */
+enum class DirRep
+{
+    FullMap,       //!< one presence bit per node (exact)
+    LimitedPtr,    //!< Dir_i_B: i pointers + an overflow policy
+    CoarseVector,  //!< one presence bit per group of k nodes
+};
+
+/** What a limited-pointer directory does when its pointers run out. */
+enum class DirOverflowPolicy
+{
+    Broadcast,  //!< degrade the set to "everyone" until it resets
+    Evict,      //!< invalidate one pointed-to sharer to make room
+};
+
+/**
+ * Directory organization. The default reproduces the paper's
+ * full-map directory bit-for-bit; the alternatives trade precision
+ * for per-block state so the machine can scale past the point where
+ * a presence bit per node is affordable.
+ */
+struct DirectoryParams
+{
+    DirRep rep = DirRep::FullMap;
+    unsigned pointers = 4;    //!< LimitedPtr: sharers named exactly
+    DirOverflowPolicy overflow = DirOverflowPolicy::Broadcast;
+    unsigned coarseness = 4;  //!< CoarseVector: nodes per presence bit
+
+    /** Compact spec name: "fullmap", "limptr4B", "coarse4", ... */
+    std::string
+    name() const
+    {
+        switch (rep) {
+          case DirRep::FullMap:
+            return "fullmap";
+          case DirRep::LimitedPtr:
+            return "limptr" + std::to_string(pointers) +
+                   (overflow == DirOverflowPolicy::Broadcast ? "B"
+                                                             : "E");
+          case DirRep::CoarseVector:
+            return "coarse" + std::to_string(coarseness);
+        }
+        return "?";
+    }
+
+    /**
+     * Parse a spec of the form "fullmap", "limptr<N>B", "limptr<N>E"
+     * or "coarse<K>". Returns false (with an untouched *this) on a
+     * malformed spec.
+     */
+    bool
+    parseSpec(const std::string &spec)
+    {
+        if (spec == "fullmap") {
+            *this = DirectoryParams{};
+            return true;
+        }
+        auto number = [](const std::string &s, std::size_t begin,
+                         std::size_t end, unsigned &out) {
+            if (begin >= end)
+                return false;
+            unsigned v = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+                if (s[i] < '0' || s[i] > '9')
+                    return false;
+                v = v * 10 + unsigned(s[i] - '0');
+            }
+            out = v;
+            return out != 0;
+        };
+        if (spec.rfind("limptr", 0) == 0 && spec.size() > 7) {
+            char policy = spec.back();
+            if (policy != 'B' && policy != 'E')
+                return false;
+            unsigned n = 0;
+            if (!number(spec, 6, spec.size() - 1, n))
+                return false;
+            rep = DirRep::LimitedPtr;
+            pointers = n;
+            overflow = policy == 'B' ? DirOverflowPolicy::Broadcast
+                                     : DirOverflowPolicy::Evict;
+            return true;
+        }
+        if (spec.rfind("coarse", 0) == 0 && spec.size() > 6) {
+            unsigned k = 0;
+            if (!number(spec, 6, spec.size(), k))
+                return false;
+            rep = DirRep::CoarseVector;
+            coarseness = k;
+            return true;
+        }
+        return false;
+    }
+};
+
 /** Network model selection. */
 enum class NetworkKind
 {
@@ -127,6 +222,9 @@ struct MachineParams
     Tick uniformHopLatency = 54;   //!< paper's node-to-node latency
     unsigned meshLinkBits = 64;    //!< 64 / 32 / 16 in Table 3
     ChaosParams chaos;             //!< fault injection (stress runs)
+
+    // --- directory organization -------------------------------------------
+    DirectoryParams directory;     //!< sharer-set representation (§16)
 
     // --- consistency -----------------------------------------------------
     Consistency consistency = Consistency::ReleaseConsistency;

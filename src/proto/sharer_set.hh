@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Directory sharer-set representations (DESIGN.md §16).
+ *
+ * The directory used to keep one raw `uint64_t` presence word per
+ * block — a silent ceiling at 64 nodes and undefined behavior past
+ * it. This file replaces that word with two value types:
+ *
+ *  - NodeMask: an exact bitset over `maxNodes` (256) nodes. Used
+ *    wherever the protocol needs a concrete target set right now
+ *    (invalidation fan-out, probe survivors, checker expansion).
+ *
+ *  - SharerSet: the per-block directory state, whose meaning depends
+ *    on the configured representation:
+ *      FullMap      one bit per node; exact (the paper's directory).
+ *      LimitedPtr   Dir_i_B: up to `pointers` sharers named exactly;
+ *                   on overflow either the whole set degrades to
+ *                   "everyone" (Broadcast) or one pointed-to sharer
+ *                   is invalidated to make room (Evict — the caller
+ *                   drives the invalidation; see
+ *                   DirectoryController::processRead).
+ *      CoarseVector one bit per group of `coarseness` nodes; a set
+ *                   bit means "some node in this group may hold a
+ *                   copy", and bits are never cleared one node at a
+ *                   time (membership of the other group members is
+ *                   unprovable).
+ *
+ * The invariant every representation obeys: expand() is a SUPERSET
+ * of the true holders — over-approximation costs extra invalidation
+ * traffic (that is the measured trade-off at scale), while
+ * under-approximation would silently break coherence. Operations
+ * that cannot be performed precisely (removing one node from a
+ * coarse group, pruning a broadcast set) are therefore no-ops.
+ *
+ * SharerSet is a dumb value type so Entry stays cheaply
+ * default-constructible inside `entries[block]`; every operation
+ * takes the SharerConfig that gives it meaning.
+ */
+
+#ifndef CPX_PROTO_SHARER_SET_HH
+#define CPX_PROTO_SHARER_SET_HH
+
+#include <array>
+#include <cstdint>
+
+#include "proto/params.hh"
+#include "sim/types.hh"
+
+namespace cpx
+{
+
+/** Exact bitset over node ids 0 .. maxNodes-1. */
+struct NodeMask
+{
+    static constexpr unsigned words = maxNodes / 64;
+    std::array<std::uint64_t, words> w{};
+
+    static NodeMask
+    single(NodeId n)
+    {
+        NodeMask m;
+        m.set(n);
+        return m;
+    }
+
+    void set(NodeId n) { w[n / 64] |= std::uint64_t(1) << (n % 64); }
+    void clear(NodeId n) { w[n / 64] &= ~(std::uint64_t(1) << (n % 64)); }
+
+    bool
+    test(NodeId n) const
+    {
+        return (w[n / 64] >> (n % 64)) & 1;
+    }
+
+    bool
+    none() const
+    {
+        for (std::uint64_t word : w)
+            if (word)
+                return false;
+        return true;
+    }
+
+    unsigned
+    count() const
+    {
+        unsigned c = 0;
+        for (std::uint64_t word : w)
+            c += static_cast<unsigned>(__builtin_popcountll(word));
+        return c;
+    }
+
+    /** Low 64 bits — the legacy presence word for traces/snapshots. */
+    std::uint64_t low64() const { return w[0]; }
+
+    /** Visit set bits in ascending NodeId order. */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (unsigned wi = 0; wi < words; ++wi) {
+            std::uint64_t word = w[wi];
+            while (word) {
+                unsigned b = static_cast<unsigned>(
+                    __builtin_ctzll(word));
+                f(NodeId(wi * 64 + b));
+                word &= word - 1;
+            }
+        }
+    }
+
+    bool
+    operator==(const NodeMask &o) const
+    {
+        return w == o.w;
+    }
+    bool operator!=(const NodeMask &o) const { return !(*this == o); }
+};
+
+/** Everything a SharerSet operation needs to interpret its state. */
+struct SharerConfig
+{
+    DirectoryParams dir;
+    unsigned numNodes = 16;
+
+    SharerConfig() = default;
+    SharerConfig(const DirectoryParams &d, unsigned nodes)
+        : dir(d), numNodes(nodes)
+    {
+    }
+};
+
+class SharerSet
+{
+  public:
+    /** Hard cap on LimitedPtr pointers (storage is inline). */
+    static constexpr unsigned maxPointers = 16;
+
+    /** Outcome of add(): what the caller must do next, if anything. */
+    enum class AddOutcome
+    {
+        Added,            //!< recorded exactly (or already implied)
+        AlreadyPresent,   //!< no state change
+        WentBroadcast,    //!< pointer overflow degraded the set
+        NeedsEviction,    //!< Evict policy: free a slot first (state
+                          //!< untouched; see victim())
+    };
+
+    /**
+     * Record node @p n as a sharer. Under LimitedPtr+Evict a full
+     * set returns NeedsEviction without modifying anything — the
+     * directory must invalidate victim() and retry once the ack
+     * frees the slot.
+     */
+    AddOutcome
+    add(const SharerConfig &cfg, NodeId n)
+    {
+        switch (cfg.dir.rep) {
+          case DirRep::FullMap:
+            if (mask.test(n))
+                return AddOutcome::AlreadyPresent;
+            mask.set(n);
+            return AddOutcome::Added;
+          case DirRep::CoarseVector: {
+            unsigned g = n / cfg.dir.coarseness;
+            if (mask.test(g))
+                return AddOutcome::AlreadyPresent;
+            mask.set(g);
+            return AddOutcome::Added;
+          }
+          case DirRep::LimitedPtr:
+            if (bcast)
+                return AddOutcome::AlreadyPresent;
+            for (unsigned i = 0; i < ptrCount; ++i)
+                if (ptrs[i] == n)
+                    return AddOutcome::AlreadyPresent;
+            if (ptrCount < pointerCap(cfg)) {
+                ptrs[ptrCount++] = n;
+                return AddOutcome::Added;
+            }
+            if (cfg.dir.overflow == DirOverflowPolicy::Evict)
+                return AddOutcome::NeedsEviction;
+            bcast = true;
+            ptrCount = 0;
+            return AddOutcome::WentBroadcast;
+        }
+        return AddOutcome::Added;
+    }
+
+    /**
+     * Forget node @p n where the representation can do so exactly.
+     * Coarse groups and broadcast sets keep over-approximating —
+     * shrinking them would drop a real sharer.
+     */
+    void
+    remove(const SharerConfig &cfg, NodeId n)
+    {
+        switch (cfg.dir.rep) {
+          case DirRep::FullMap:
+            mask.clear(n);
+            return;
+          case DirRep::CoarseVector:
+            return;
+          case DirRep::LimitedPtr:
+            if (bcast)
+                return;
+            for (unsigned i = 0; i < ptrCount; ++i) {
+                if (ptrs[i] == n) {
+                    // Stable-order compaction keeps victim() (slot
+                    // 0) deterministic across runs.
+                    for (unsigned j = i + 1; j < ptrCount; ++j)
+                        ptrs[j - 1] = ptrs[j];
+                    --ptrCount;
+                    return;
+                }
+            }
+            return;
+        }
+    }
+
+    /** Reset to the exact singleton {n} (ownership grants). */
+    void
+    setOnly(const SharerConfig &cfg, NodeId n)
+    {
+        clearAll();
+        add(cfg, n);
+    }
+
+    void
+    clearAll()
+    {
+        mask = NodeMask{};
+        ptrCount = 0;
+        bcast = false;
+    }
+
+    /** True iff the set provably has no members. */
+    bool
+    empty(const SharerConfig &cfg) const
+    {
+        if (cfg.dir.rep == DirRep::LimitedPtr)
+            return !bcast && ptrCount == 0;
+        return mask.none();
+    }
+
+    /**
+     * True iff the representation can PROVE @p n holds a copy. A
+     * broadcast or coarse set may contain n without being able to
+     * prove it — callers needing certainty (upgrade serving) must
+     * fall back to the conservative path on false.
+     */
+    bool
+    preciseContains(const SharerConfig &cfg, NodeId n) const
+    {
+        switch (cfg.dir.rep) {
+          case DirRep::FullMap:
+            return mask.test(n);
+          case DirRep::CoarseVector:
+            return false;
+          case DirRep::LimitedPtr:
+            if (bcast)
+                return false;
+            for (unsigned i = 0; i < ptrCount; ++i)
+                if (ptrs[i] == n)
+                    return true;
+            return false;
+        }
+        return false;
+    }
+
+    /** True iff expand() is exactly the member set, not a superset. */
+    bool
+    exact(const SharerConfig &cfg) const
+    {
+        switch (cfg.dir.rep) {
+          case DirRep::FullMap:
+            return true;
+          case DirRep::LimitedPtr:
+            return !bcast;
+          case DirRep::CoarseVector:
+            return mask.none() || cfg.dir.coarseness == 1;
+        }
+        return true;
+    }
+
+    /** The nodes the protocol must treat as (possible) holders. */
+    NodeMask
+    expand(const SharerConfig &cfg) const
+    {
+        NodeMask out;
+        switch (cfg.dir.rep) {
+          case DirRep::FullMap:
+            return mask;
+          case DirRep::LimitedPtr:
+            if (bcast) {
+                for (NodeId n = 0; n < cfg.numNodes; ++n)
+                    out.set(n);
+                return out;
+            }
+            for (unsigned i = 0; i < ptrCount; ++i)
+                out.set(ptrs[i]);
+            return out;
+          case DirRep::CoarseVector:
+            mask.forEach([&](NodeId g) {
+                NodeId first = g * cfg.dir.coarseness;
+                for (NodeId n = first;
+                     n < first + cfg.dir.coarseness &&
+                     n < cfg.numNodes;
+                     ++n)
+                    out.set(n);
+            });
+            return out;
+        }
+        return out;
+    }
+
+    /** |expand()| without materializing the mask where avoidable. */
+    unsigned
+    expandedCount(const SharerConfig &cfg) const
+    {
+        if (cfg.dir.rep == DirRep::LimitedPtr)
+            return bcast ? cfg.numNodes : ptrCount;
+        if (cfg.dir.rep == DirRep::FullMap)
+            return mask.count();
+        return expand(cfg).count();
+    }
+
+    /**
+     * Eviction candidate under LimitedPtr+Evict: the oldest pointer
+     * (slot 0, FIFO thanks to stable-order removal). Only valid
+     * right after add() returned NeedsEviction.
+     */
+    NodeId
+    victim(const SharerConfig &cfg) const
+    {
+        (void)cfg;
+        return ptrCount > 0 ? ptrs[0] : invalidNode;
+    }
+
+    /** True while a LimitedPtr set is degraded to "everyone". */
+    bool broadcasting() const { return bcast; }
+
+    static unsigned
+    pointerCap(const SharerConfig &cfg)
+    {
+        return cfg.dir.pointers < maxPointers ? cfg.dir.pointers
+                                              : maxPointers;
+    }
+
+  private:
+    // FullMap: node bits. CoarseVector: group bits. LimitedPtr:
+    // unused (the pointer array below is the state).
+    NodeMask mask;
+    std::array<NodeId, maxPointers> ptrs{};
+    std::uint8_t ptrCount = 0;
+    bool bcast = false;
+};
+
+} // namespace cpx
+
+#endif // CPX_PROTO_SHARER_SET_HH

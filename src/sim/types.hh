@@ -32,6 +32,25 @@ using NodeId = std::uint32_t;
 /** Sentinel node id. */
 constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
 
+/**
+ * Hard upper bound on the number of nodes in one simulated machine.
+ * Everything that stores per-node membership (the directory's
+ * sharer sets, trace records, mesh link tables) is sized against
+ * this, and System construction rejects larger configurations.
+ */
+constexpr unsigned maxNodes = 256;
+
+/**
+ * Sentinel used when a NodeId is packed into a 16-bit trace field
+ * (TraceRecord::aux peer halves, directory-state owner encoding).
+ * Must stay above every real node id so 256-node traces cannot
+ * alias it.
+ */
+constexpr std::uint32_t tracePeerNone = 0xffffu;
+
+static_assert(maxNodes < tracePeerNone,
+              "node ids must fit below the packed-peer sentinel");
+
 /** Number of bytes in one simulated machine word. */
 constexpr unsigned wordBytes = 4;
 

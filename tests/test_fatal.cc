@@ -38,12 +38,30 @@ TEST(FatalDeathTest, RejectsZeroProcessors)
                 "need at least one node");
 }
 
-TEST(FatalDeathTest, RejectsMoreProcessorsThanPresenceBits)
+TEST(FatalDeathTest, RejectsMoreProcessorsThanMaxNodes)
 {
     MachineParams params = makeParams(ProtocolConfig::basic());
-    params.numProcs = 65;
+    params.numProcs = maxNodes + 1;
     EXPECT_EXIT({ System sys(params); }, ExitedWithCode(1),
-                "presence vector");
+                "maxNodes");
+}
+
+TEST(FatalDeathTest, RejectsSinglePointerDirectory)
+{
+    MachineParams params = makeParams(ProtocolConfig::basic());
+    params.directory.rep = DirRep::LimitedPtr;
+    params.directory.pointers = 1;
+    EXPECT_EXIT({ System sys(params); }, ExitedWithCode(1),
+                "limited-pointer directory needs");
+}
+
+TEST(FatalDeathTest, RejectsOversizedPointerDirectory)
+{
+    MachineParams params = makeParams(ProtocolConfig::basic());
+    params.directory.rep = DirRep::LimitedPtr;
+    params.directory.pointers = 17;
+    EXPECT_EXIT({ System sys(params); }, ExitedWithCode(1),
+                "limited-pointer directory needs");
 }
 
 TEST(FatalDeathTest, RejectsZeroWriteBufferEntries)

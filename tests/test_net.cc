@@ -9,6 +9,7 @@
 
 #include "net/mesh.hh"
 #include "net/network.hh"
+#include "obs/metrics.hh"
 
 namespace cpx
 {
@@ -153,6 +154,78 @@ TEST(Mesh, EndToEndOnTinyMachine)
     eq.run();
     EXPECT_GT(arrival, 0u);
     EXPECT_EQ(mesh.hopCount(0, 3), 2u);
+}
+
+TEST(Mesh, GeometryScalesTo64And256Nodes)
+{
+    EventQueue eq;
+    MeshNetwork m64(eq, 64, 64);
+    EXPECT_EQ(m64.columns(), 8u);
+    EXPECT_EQ(m64.rows(), 8u);
+    EXPECT_EQ(m64.hopCount(0, 63), 14u);  // opposite corner of 8x8
+
+    MeshNetwork m256(eq, 256, 64);
+    EXPECT_EQ(m256.columns(), 16u);
+    EXPECT_EQ(m256.rows(), 16u);
+    EXPECT_EQ(m256.hopCount(0, 255), 30u);
+}
+
+TEST(Mesh, ThirtyTwoNodesRouteAroundTheHoles)
+{
+    // 32 nodes factor as 6x6 with four unused positions in the last
+    // row; every real pair must still route and deliver.
+    EventQueue eq;
+    MeshNetwork mesh(eq, 32, 32);
+    ASSERT_EQ(mesh.columns(), 6u);
+    ASSERT_EQ(mesh.rows(), 6u);
+    unsigned delivered = 0;
+    for (NodeId s = 0; s < 32; ++s)
+        for (NodeId d = 0; d < 32; ++d)
+            mesh.send(s, d, 16, [&] { ++delivered; });
+    eq.run();
+    EXPECT_EQ(delivered, 32u * 32u);
+    // Node 31 sits at (1, 5): |1-0| + |5-0| hops from node 0.
+    EXPECT_EQ(mesh.hopCount(0, 31), 6u);
+}
+
+TEST(Mesh, MetricNamesArePaddedOnWideGrids)
+{
+    EventQueue eq;
+
+    // Grids up to 10 columns keep the historical single-digit names
+    // (the committed smoke baseline depends on them).
+    MeshNetwork m16(eq, 16, 64);
+    MetricRegistry reg16;
+    m16.registerMetrics(reg16);
+    bool narrow = false;
+    for (std::size_t i = 0; i < reg16.size(); ++i)
+        narrow |= reg16.name(i) == "mesh.x0y0.east.flits";
+    EXPECT_TRUE(narrow);
+
+    // A 16x16 grid zero-pads so names stay unambiguous ("x1y1" can
+    // no longer be a prefix of "x11y1") and sort in grid order.
+    MeshNetwork m256(eq, 256, 64);
+    MetricRegistry reg256;
+    m256.registerMetrics(reg256);
+    bool padded = false, unpadded = false, wide = false;
+    for (std::size_t i = 0; i < reg256.size(); ++i) {
+        padded |= reg256.name(i) == "mesh.x00y00.east.flits";
+        unpadded |= reg256.name(i) == "mesh.x0y0.east.flits";
+        wide |= reg256.name(i) == "mesh.x14y15.east.flits";
+    }
+    EXPECT_TRUE(padded);
+    EXPECT_TRUE(wide);
+    EXPECT_FALSE(unpadded);
+}
+
+TEST(MeshDeathTest, RejectsMoreThanMaxNodes)
+{
+    EXPECT_EXIT(
+        {
+            EventQueue eq;
+            MeshNetwork mesh(eq, maxNodes + 1, 64);
+        },
+        ::testing::ExitedWithCode(1), "at most");
 }
 
 TEST(Mesh, LatencySamplesAccumulate)

@@ -129,6 +129,32 @@ done
     --speedup-vs="$root/$prefix/BENCH_threads1.json"
 stage_done "sim-threads bit-identity matrix"
 
+# Directory-scaling smoke: the 16/64/256-node representation matrix
+# (bench/scaling_matrix, standalone-only so the cpxbench suite's
+# point count — and the baseline gate above — stay untouched), run
+# journaled under process isolation with the parallel kernel. The
+# results file must validate; there is no baseline for it (the grid
+# is new), but every point must verify. Followed by invariant-checked
+# stress spot-runs at the two scaled configurations the overflow
+# machinery exists for: limited pointers at 64 nodes and the coarse
+# vector at 256.
+echo "== directory scaling matrix (scaling_matrix --isolate=process)"
+scaling_json="$root/$prefix/BENCH_scaling.json"
+scaling_journal="$root/$prefix/BENCH_scaling.jsonl"
+rm -f "$scaling_json" "$scaling_journal" "$scaling_journal.quarantine"
+"$root/$prefix/bench/scaling_matrix" --scale=0.02 --jobs="$jobs" \
+    --sim-threads=4 --isolate=process --timeout=600 \
+    --journal="$scaling_journal" --json="$scaling_json" >/dev/null
+"$root/$prefix/tools/cpxbench" --check-json="$scaling_json"
+for cfg in "--nodes=64 --dir=limptr4B" "--nodes=64 --dir=limptr4E" \
+           "--nodes=256 --dir=coarse4"; do
+    # shellcheck disable=SC2086
+    "$root/$prefix/tools/cpxsim" --workload=stress $cfg \
+        --scale=0.1 --check >/dev/null
+    echo "   stress $cfg OK"
+done
+stage_done "directory scaling matrix"
+
 # Interval-metrics smoke: one sampled mesh sweep must validate under
 # --check-json (timeseries schema included) and render a non-empty
 # markdown report. No baseline gate here — the sampled sweep is a

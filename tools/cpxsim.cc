@@ -18,6 +18,12 @@
  *   --consistency=MODEL rc | sc                    (default rc)
  *   --network=KIND      uniform | mesh16|mesh32|mesh64 (default uniform)
  *   --procs=N           processors                 (default 16)
+ *   --nodes=N           alias for --procs=
+ *   --dir=SPEC          directory sharer-set representation
+ *                       (DESIGN.md §16): fullmap (default) |
+ *                       limptr<N>B (N pointers, overflow broadcast) |
+ *                       limptr<N>E (N pointers, pointer eviction) |
+ *                       coarse<K>  (K nodes per presence bit)
  *   --scale=F           problem-size multiplier    (default 1.0)
  *   --seed=N            workload random seed       (default 1)
  *   --slc=BYTES         finite SLC size, 0=infinite (default 0)
@@ -134,7 +140,14 @@ main(int argc, char **argv)
             network = v;
         else if (const char *v = value("--procs="))
             params.numProcs = parsePositiveUnsigned(v, "--procs");
-        else if (const char *v = value("--scale="))
+        else if (const char *v = value("--nodes="))
+            params.numProcs = parsePositiveUnsigned(v, "--nodes");
+        else if (const char *v = value("--dir=")) {
+            if (!params.directory.parseSpec(v))
+                fatal("bad --dir spec '%s' (use fullmap, limptr<N>B, "
+                      "limptr<N>E or coarse<K>)",
+                      v);
+        } else if (const char *v = value("--scale="))
             scale = parsePositiveDouble(v, "--scale");
         else if (const char *v = value("--seed="))
             seed = parseU64(v, "--seed");
@@ -249,9 +262,11 @@ main(int argc, char **argv)
     std::printf("app            %s (scale %.2f, seed %llu)\n",
                 app.c_str(), scale,
                 static_cast<unsigned long long>(seed));
-    std::printf("machine        %u procs, %s, %s, %s network\n",
+    std::printf("machine        %u procs, %s, %s, %s network, %s "
+                "directory\n",
                 params.numProcs, r.protocol.c_str(),
-                r.consistency.c_str(), network.c_str());
+                r.consistency.c_str(), network.c_str(),
+                params.directory.name().c_str());
     std::printf("verified       %s\n", run.verified ? "yes" : "NO");
     std::printf("execution time %llu pclocks (%.2f ms at 100 MHz)\n",
                 static_cast<unsigned long long>(run.execTime),
@@ -265,6 +280,14 @@ main(int argc, char **argv)
     std::printf("network        %llu bytes in %llu messages\n",
                 static_cast<unsigned long long>(r.netBytes),
                 static_cast<unsigned long long>(r.netMessages));
+    if (params.directory.rep != DirRep::FullMap) {
+        std::printf("directory      %llu overflow broadcasts, %llu "
+                    "pointer evictions\n",
+                    static_cast<unsigned long long>(
+                        r.dirOverflowBroadcasts),
+                    static_cast<unsigned long long>(
+                        r.dirPointerEvictions));
+    }
     std::printf("kernel         %u worker(s), %llu slabs, %llu cross "
                 "messages, lookahead %llu pclocks\n",
                 r.simThreads,
