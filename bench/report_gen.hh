@@ -8,16 +8,25 @@
  * generator lives in the bench library so tests can drive it
  * directly and CI can golden-file its output.
  *
- * Sections (DESIGN.md §13):
+ * Sections (DESIGN.md §13, §17):
  *  1. per-application execution-time decomposition tables normalized
  *     to BASIC = 100 — the shape of the paper's Figures 2/3;
- *  2. per-link mesh utilization (peak vs mean) for mesh points that
+ *  2. directory pressure for non-full-map sharer-set points;
+ *  3. per-link mesh utilization (peak vs mean) for mesh points that
  *     carry a "timeseries" block;
- *  3. top-N phase anomalies: intervals where a sampled metric
+ *  4. "Where the cycles went": the causal (class x segment) stall
+ *     attribution matrix and lock home-queue split for points that
+ *     carry an "attribution" block (--attrib);
+ *  5. "Contention hot spots": the attribution hot-block / hot-lock
+ *     tables (queue-wait totals, means, p99s per address);
+ *  6. top-N phase anomalies: intervals where a sampled metric
  *     deviates more than 2σ from its run mean.
  *
  * Output is deterministic: document order drives grouping, and every
  * ranking breaks ties on (point index, metric name, interval row).
+ * Sparse inputs degrade to explicit "no data" notes, never to a
+ * failure: only a structurally invalid document (missing schema
+ * marker, unparseable JSON) makes generation fail.
  */
 
 #ifndef CPX_BENCH_REPORT_GEN_HH

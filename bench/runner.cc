@@ -23,6 +23,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "obs/attrib.hh"
 #include "sim/parse.hh"
 
 namespace cpx::bench
@@ -183,13 +184,18 @@ constexpr const char *flakyMarkerEnv = "CPX_FLAKY_MARKER";
  */
 SweepResult
 executeRealPoint(const SweepPoint &point, Tick sample_interval,
-                 unsigned sim_threads)
+                 unsigned sim_threads, bool attrib)
 {
     SweepResult res;
     res.point = point;
     res.attempts = 1;
     auto start = SteadyClock::now();
     System sys(point.params, sim_threads);
+    std::unique_ptr<AttribSink> attrib_sink;
+    if (attrib) {
+        attrib_sink = std::make_unique<AttribSink>(point.params.numProcs);
+        sys.setAttrib(attrib_sink.get());
+    }
     auto w = makeWorkload(point.app, point.scale, point.seed);
     res.run = runWorkload(sys, *w, maxTick, sample_interval);
     std::chrono::duration<double> elapsed = SteadyClock::now() - start;
@@ -211,8 +217,8 @@ executeRealPoint(const SweepPoint &point, Tick sample_interval,
  */
 [[noreturn]] void
 runWorkerChild(const SweepPoint &point, Tick sample_interval,
-               unsigned sim_threads, int fd, const std::string &hash,
-               unsigned attempt)
+               unsigned sim_threads, bool attrib, int fd,
+               const std::string &hash, unsigned attempt)
 {
     SweepPoint run_point = point;
     bool force_unverified = false;
@@ -245,8 +251,8 @@ runWorkerChild(const SweepPoint &point, Tick sample_interval,
         force_unverified = true;
     }
 
-    SweepResult res =
-        executeRealPoint(run_point, sample_interval, sim_threads);
+    SweepResult res = executeRealPoint(run_point, sample_interval,
+                                       sim_threads, attrib);
     res.point = point;
     res.configHash = hash;
     res.attempts = attempt;
@@ -315,7 +321,8 @@ pointStatusRetryable(PointStatus status)
 }
 
 std::string
-pointConfigHash(const SweepPoint &point, Tick sample_interval)
+pointConfigHash(const SweepPoint &point, Tick sample_interval,
+                bool attrib)
 {
     const MachineParams &p = point.params;
     std::ostringstream key;
@@ -350,6 +357,13 @@ pointConfigHash(const SweepPoint &point, Tick sample_interval)
         << p.directory.pointers << '|'
         << static_cast<int>(p.directory.overflow) << '|'
         << p.directory.coarseness;
+    // Appended only when enabled so every pre-attribution cache and
+    // journal hash stays valid. Attribution never changes simulated
+    // stats, but an attributed result carries a block a plain run
+    // cannot supply — reusing a plain cached result for an attributed
+    // request would silently drop it.
+    if (attrib)
+        key << "|attrib";
     char buf[17];
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(fnv1a64(key.str())));
@@ -377,6 +391,8 @@ parseOptions(int argc, char **argv)
         else if (std::strncmp(arg, "--sample-interval=", 18) == 0)
             opts.sampleInterval =
                 parseU64(arg + 18, "--sample-interval");
+        else if (std::strcmp(arg, "--attrib") == 0)
+            opts.attrib = true;
         else if (std::strncmp(arg, "--sim-threads=", 14) == 0)
             opts.simThreads =
                 parsePositiveUnsigned(arg + 14, "--sim-threads");
@@ -408,7 +424,7 @@ parseOptions(int argc, char **argv)
         else
             fatal("unknown option '%s' (use --scale=F --procs=N "
                   "--jobs=N --seed=N --json=PATH "
-                  "--sample-interval=N --sim-threads=N "
+                  "--sample-interval=N --attrib --sim-threads=N "
                   "--isolate=none|process "
                   "--timeout=SECS --retries=N --journal=PATH "
                   "--resume=PATH --cache=DIR)",
@@ -597,8 +613,8 @@ SweepRunner::runAll()
     std::vector<std::size_t> todo;
     std::size_t reused_journal = 0, reused_cache = 0;
     for (std::size_t i = 0; i < queued.size(); ++i) {
-        std::string hash =
-            pointConfigHash(queued[i], opts.sampleInterval);
+        std::string hash = pointConfigHash(
+            queued[i], opts.sampleInterval, opts.attrib);
         auto it = resumeByHash.find(hash);
         if (it != resumeByHash.end()) {
             // The same config can appear under several tags; each
@@ -713,7 +729,8 @@ SweepRunner::runBatchInProcess(std::vector<SweepResult> &batch,
                 return;
             std::size_t i = todo[t];
             SweepResult res = executeRealPoint(
-                queued[i], opts.sampleInterval, opts.simThreads);
+                queued[i], opts.sampleInterval, opts.simThreads,
+                opts.attrib);
             res.point = queued[i];
             res.configHash = batch[i].configHash;
             journalAppend(res);
@@ -826,7 +843,7 @@ SweepRunner::runBatchProcess(std::vector<SweepResult> &batch,
             std::signal(SIGINT, SIG_DFL);
             std::signal(SIGTERM, SIG_DFL);
             runWorkerChild(queued[p.index], opts.sampleInterval,
-                           opts.simThreads, fds[1],
+                           opts.simThreads, opts.attrib, fds[1],
                            batch[p.index].configHash, p.attempt);
         }
         ::close(fds[1]);
@@ -1237,6 +1254,107 @@ writeJson(const std::string &path, const std::string &suite,
             }
             out << "\n        ]\n      },\n";
         }
+        // Optional: causal stall attribution (--attrib). Like the
+        // timeseries block, a sibling of the gated stats fields, so a
+        // baseline captured without --attrib stays byte-comparable to
+        // an attributed run and vice versa (DESIGN.md §17).
+        if (s.attribution.enabled) {
+            const AttributionResult &ar = s.attribution;
+            out << "      \"attribution\": {\n";
+            out << "        \"classes\": {";
+            bool first_cls = true;
+            for (unsigned c = 0; c < numAttribClasses; ++c) {
+                const AttribSegments &seg = ar.classes[c];
+                if (!seg.count)
+                    continue;  // zero rows restore to the default
+                out << (first_cls ? "\n" : ",\n");
+                first_cls = false;
+                out << "          \"" << attribClassName(c) << "\": {"
+                    << "\"count\": " << jsonNumber(seg.count) << ", "
+                    << "\"latency\": " << jsonNumber(seg.latency)
+                    << ", "
+                    << "\"request\": " << jsonNumber(seg.request)
+                    << ", "
+                    << "\"dirQueue\": " << jsonNumber(seg.dirQueue)
+                    << ", "
+                    << "\"dirService\": "
+                    << jsonNumber(seg.dirService) << ", "
+                    << "\"ownerFetch\": "
+                    << jsonNumber(seg.ownerFetch) << ", "
+                    << "\"invalFanout\": "
+                    << jsonNumber(seg.invalFanout) << ", "
+                    << "\"ackCollect\": "
+                    << jsonNumber(seg.ackCollect) << ", "
+                    << "\"dataReturn\": "
+                    << jsonNumber(seg.dataReturn) << ", "
+                    << "\"fill\": " << jsonNumber(seg.fill) << ", "
+                    << "\"dataHops\": " << jsonNumber(seg.dataHops)
+                    << "}";
+            }
+            out << (first_cls ? "},\n" : "\n        },\n");
+            out << "        \"locks\": {"
+                << "\"count\": " << jsonNumber(ar.locks.count) << ", "
+                << "\"latency\": " << jsonNumber(ar.locks.latency)
+                << ", "
+                << "\"homeQueue\": " << jsonNumber(ar.locks.homeQueue)
+                << ", "
+                << "\"transfer\": " << jsonNumber(ar.locks.transfer)
+                << "},\n";
+            out << "        \"homes\": [";
+            for (std::size_t i = 0; i < ar.homes.size(); ++i) {
+                const AttribHomeStats &h = ar.homes[i];
+                out << (i ? ",\n          {" : "\n          {")
+                    << "\"node\": " << h.node << ", "
+                    << "\"dirRequests\": "
+                    << jsonNumber(h.dirRequests) << ", "
+                    << "\"dirWaitTotal\": "
+                    << jsonNumber(h.dirWaitTotal) << ", "
+                    << "\"dirWaitP99\": " << jsonNumber(h.dirWaitP99)
+                    << ", "
+                    << "\"lockGrants\": " << jsonNumber(h.lockGrants)
+                    << ", "
+                    << "\"lockWaitTotal\": "
+                    << jsonNumber(h.lockWaitTotal) << ", "
+                    << "\"lockWaitP99\": "
+                    << jsonNumber(h.lockWaitP99) << "}";
+            }
+            out << (ar.homes.empty() ? "],\n" : "\n        ],\n");
+            auto hot = [&](const char *key,
+                           const std::vector<AttribHotSpot> &rows) {
+                out << "        \"" << key << "\": [";
+                for (std::size_t i = 0; i < rows.size(); ++i) {
+                    const AttribHotSpot &h = rows[i];
+                    out << (i ? ",\n          {" : "\n          {")
+                        << "\"addr\": "
+                        << jsonNumber(
+                               static_cast<std::uint64_t>(h.addr))
+                        << ", "
+                        << "\"home\": " << h.home << ", "
+                        << "\"count\": " << jsonNumber(h.count)
+                        << ", "
+                        << "\"totalWait\": "
+                        << jsonNumber(h.totalWait) << ", "
+                        << "\"p99Wait\": " << jsonNumber(h.p99Wait)
+                        << "}";
+                }
+                out << (rows.empty() ? "],\n" : "\n        ],\n");
+            };
+            hot("hotBlocks", ar.hotBlocks);
+            hot("hotLocks", ar.hotLocks);
+            out << "        \"matchedTxns\": "
+                << jsonNumber(ar.matchedTxns) << ",\n";
+            out << "        \"unmatchedDir\": "
+                << jsonNumber(ar.unmatchedDir) << ",\n";
+            out << "        \"matchedLocks\": "
+                << jsonNumber(ar.matchedLocks) << ",\n";
+            out << "        \"unmatchedLocks\": "
+                << jsonNumber(ar.unmatchedLocks) << ",\n";
+            out << "        \"fanoutTotal\": "
+                << jsonNumber(ar.fanoutTotal) << ",\n";
+            out << "        \"fanoutImprecise\": "
+                << jsonNumber(ar.fanoutImprecise) << "\n";
+            out << "      },\n";
+        }
         out << "      \"kernel\": {"
             << "\"eventsExecuted\": " << jsonNumber(s.eventsExecuted)
             << ", "
@@ -1616,6 +1734,36 @@ validateResultsFile(const std::string &path, std::string &error,
                 }
             }
         }
+        // The attribution block is likewise optional (--attrib runs
+        // only); when present it must carry the full shape cpxreport
+        // renders from.
+        if (point.has("attribution")) {
+            const JsonValue &ar = point.at("attribution");
+            if (ar.kind != JsonValue::Kind::Object ||
+                !ar.has("classes") || !ar.has("locks") ||
+                !ar.has("homes") || !ar.has("hotBlocks") ||
+                !ar.has("hotLocks") || !ar.has("matchedTxns")) {
+                error = path + ": malformed attribution block";
+                return false;
+            }
+            if (ar.at("classes").kind != JsonValue::Kind::Object ||
+                ar.at("homes").kind != JsonValue::Kind::Array ||
+                ar.at("hotBlocks").kind != JsonValue::Kind::Array ||
+                ar.at("hotLocks").kind != JsonValue::Kind::Array) {
+                error = path + ": malformed attribution block";
+                return false;
+            }
+            for (const auto &[name, row] :
+                 ar.at("classes").members) {
+                if (row.kind != JsonValue::Kind::Object ||
+                    !row.has("count") || !row.has("latency") ||
+                    !row.has("dirQueue")) {
+                    error = path + ": malformed attribution class '" +
+                            name + "'";
+                    return false;
+                }
+            }
+        }
     }
     if (!failed.empty() && !allow_failed) {
         error = path + ": failed sweep point(s):" + failed;
@@ -1654,8 +1802,11 @@ validateTraceFile(const std::string &path, std::string &error)
 
     // Async transaction spans must pair up: per id, as many "b"
     // begins as "e" ends (the exporter degrades unmatched spans to
-    // instants, so an imbalance means exporter breakage).
+    // instants, so an imbalance means exporter breakage). Counter
+    // events ("C", the interval-metric tracks) must each carry a
+    // numeric args.value and be non-decreasing in time per track.
     std::map<std::string, long> open_spans;
+    std::map<std::string, double> counter_last_ts;
     std::size_t spans = 0;
     for (const JsonValue &ev : events) {
         if (ev.kind != JsonValue::Kind::Object || !ev.has("ph") ||
@@ -1677,6 +1828,25 @@ validateTraceFile(const std::string &path, std::string &error)
             }
             open_spans[ev.at("id").text] += ph == "b" ? 1 : -1;
             ++spans;
+        } else if (ph == "C") {
+            if (!ev.has("args") ||
+                ev.at("args").kind != JsonValue::Kind::Object ||
+                !ev.at("args").has("value") ||
+                ev.at("args").at("value").kind !=
+                    JsonValue::Kind::Number) {
+                error = path +
+                        ": counter event missing numeric args.value";
+                return false;
+            }
+            const std::string &track = ev.at("name").text;
+            double ts = ev.at("ts").number;
+            auto it = counter_last_ts.find(track);
+            if (it != counter_last_ts.end() && ts < it->second) {
+                error = path + ": counter track '" + track +
+                        "' goes backwards in time";
+                return false;
+            }
+            counter_last_ts[track] = ts;
         } else if (ph != "i") {
             error = path + ": unexpected phase '" + ph + "'";
             return false;
@@ -2196,6 +2366,73 @@ serializeWireResult(const SweepResult &res)
                 out << (i ? "," : "") << jsonNumber(ts.deltas[i]);
             out << "]}";
         }
+        if (s.attribution.enabled) {
+            // Positional arrays (field order fixed by the parser
+            // below): compact, and exact — u64 via jsonNumber's
+            // integer path, doubles via %.17g.
+            const AttributionResult &ar = s.attribution;
+            out << ",\"attribution\":{\"classes\":[";
+            for (unsigned c = 0; c < numAttribClasses; ++c) {
+                const AttribSegments &g = ar.classes[c];
+                out << (c ? "," : "") << "[" << jsonNumber(g.count)
+                    << "," << jsonNumber(g.latency) << ","
+                    << jsonNumber(g.request) << ","
+                    << jsonNumber(g.dirQueue) << ","
+                    << jsonNumber(g.dirService) << ","
+                    << jsonNumber(g.ownerFetch) << ","
+                    << jsonNumber(g.invalFanout) << ","
+                    << jsonNumber(g.ackCollect) << ","
+                    << jsonNumber(g.dataReturn) << ","
+                    << jsonNumber(g.fill) << ","
+                    << jsonNumber(g.dataHops) << "]";
+            }
+            out << "],\"locks\":[" << jsonNumber(ar.locks.count)
+                << "," << jsonNumber(ar.locks.latency) << ","
+                << jsonNumber(ar.locks.homeQueue) << ","
+                << jsonNumber(ar.locks.transfer) << "]";
+            out << ",\"homes\":[";
+            for (std::size_t i = 0; i < ar.homes.size(); ++i) {
+                const AttribHomeStats &h = ar.homes[i];
+                out << (i ? "," : "") << "["
+                    << jsonNumber(
+                           static_cast<std::uint64_t>(h.node))
+                    << "," << jsonNumber(h.dirRequests) << ","
+                    << jsonNumber(h.dirWaitTotal) << ","
+                    << jsonNumber(h.dirWaitP99) << ","
+                    << jsonNumber(h.lockGrants) << ","
+                    << jsonNumber(h.lockWaitTotal) << ","
+                    << jsonNumber(h.lockWaitP99) << "]";
+            }
+            out << "]";
+            auto hot = [&](const char *key,
+                           const std::vector<AttribHotSpot> &rows) {
+                out << ",\"" << key << "\":[";
+                for (std::size_t i = 0; i < rows.size(); ++i) {
+                    const AttribHotSpot &h = rows[i];
+                    out << (i ? "," : "") << "["
+                        << jsonNumber(
+                               static_cast<std::uint64_t>(h.addr))
+                        << ","
+                        << jsonNumber(
+                               static_cast<std::uint64_t>(h.home))
+                        << "," << jsonNumber(h.count) << ","
+                        << jsonNumber(h.totalWait) << ","
+                        << jsonNumber(h.p99Wait) << "]";
+                }
+                out << "]";
+            };
+            hot("hotBlocks", ar.hotBlocks);
+            hot("hotLocks", ar.hotLocks);
+            out << ",\"matchedTxns\":" << jsonNumber(ar.matchedTxns)
+                << ",\"unmatchedDir\":"
+                << jsonNumber(ar.unmatchedDir) << ",\"matchedLocks\":"
+                << jsonNumber(ar.matchedLocks)
+                << ",\"unmatchedLocks\":"
+                << jsonNumber(ar.unmatchedLocks) << ",\"fanoutTotal\":"
+                << jsonNumber(ar.fanoutTotal)
+                << ",\"fanoutImprecise\":"
+                << jsonNumber(ar.fanoutImprecise) << "}";
+        }
         out << "}";
     }
     out << "}";
@@ -2335,6 +2572,106 @@ parseWireResult(const std::string &line, SweepResult &out,
             error = "ragged timeseries in wire record";
             return false;
         }
+    }
+
+    // Tolerant like timeseries: absent means the point ran without
+    // --attrib, not a malformed record.
+    if (stats_v->has("attribution")) {
+        const JsonValue &ar_v = stats_v->at("attribution");
+        if (ar_v.kind != JsonValue::Kind::Object) {
+            error = "attribution is not an object";
+            return false;
+        }
+        WireReader a{ar_v, error};
+        AttributionResult &ar = s.attribution;
+        ar.enabled = true;
+        auto row = [&error](const JsonValue &v, std::size_t want,
+                            const char *what) -> bool {
+            if (v.kind != JsonValue::Kind::Array ||
+                v.items.size() != want) {
+                error = std::string("bad attribution ") + what +
+                        " row";
+                return false;
+            }
+            return true;
+        };
+        const JsonValue *classes =
+            a.get("classes", JsonValue::Kind::Array);
+        const JsonValue *locks = a.get("locks", JsonValue::Kind::Array);
+        const JsonValue *homes = a.get("homes", JsonValue::Kind::Array);
+        const JsonValue *hot_blocks =
+            a.get("hotBlocks", JsonValue::Kind::Array);
+        const JsonValue *hot_locks =
+            a.get("hotLocks", JsonValue::Kind::Array);
+        ar.matchedTxns = a.u64("matchedTxns");
+        ar.unmatchedDir = a.u64("unmatchedDir");
+        ar.matchedLocks = a.u64("matchedLocks");
+        ar.unmatchedLocks = a.u64("unmatchedLocks");
+        ar.fanoutTotal = a.u64("fanoutTotal");
+        ar.fanoutImprecise = a.u64("fanoutImprecise");
+        if (!a.ok)
+            return false;
+        if (classes->items.size() != numAttribClasses) {
+            error = "attribution classes has " +
+                    std::to_string(classes->items.size()) +
+                    " rows, expected " +
+                    std::to_string(numAttribClasses);
+            return false;
+        }
+        for (unsigned c = 0; c < numAttribClasses; ++c) {
+            const JsonValue &v = classes->items[c];
+            if (!row(v, 11, "class"))
+                return false;
+            AttribSegments &g = ar.classes[c];
+            g.count = jsonU64(v.items[0]);
+            g.latency = jsonU64(v.items[1]);
+            g.request = jsonU64(v.items[2]);
+            g.dirQueue = jsonU64(v.items[3]);
+            g.dirService = jsonU64(v.items[4]);
+            g.ownerFetch = jsonU64(v.items[5]);
+            g.invalFanout = jsonU64(v.items[6]);
+            g.ackCollect = jsonU64(v.items[7]);
+            g.dataReturn = jsonU64(v.items[8]);
+            g.fill = jsonU64(v.items[9]);
+            g.dataHops = jsonU64(v.items[10]);
+        }
+        if (!row(*locks, 4, "locks"))
+            return false;
+        ar.locks.count = jsonU64(locks->items[0]);
+        ar.locks.latency = jsonU64(locks->items[1]);
+        ar.locks.homeQueue = jsonU64(locks->items[2]);
+        ar.locks.transfer = jsonU64(locks->items[3]);
+        for (const JsonValue &v : homes->items) {
+            if (!row(v, 7, "home"))
+                return false;
+            AttribHomeStats h;
+            h.node = static_cast<NodeId>(jsonU64(v.items[0]));
+            h.dirRequests = jsonU64(v.items[1]);
+            h.dirWaitTotal = jsonU64(v.items[2]);
+            h.dirWaitP99 = v.items[3].number;
+            h.lockGrants = jsonU64(v.items[4]);
+            h.lockWaitTotal = jsonU64(v.items[5]);
+            h.lockWaitP99 = v.items[6].number;
+            ar.homes.push_back(h);
+        }
+        auto hot = [&](const JsonValue *rows,
+                       std::vector<AttribHotSpot> &dst) -> bool {
+            for (const JsonValue &v : rows->items) {
+                if (!row(v, 5, "hot-spot"))
+                    return false;
+                AttribHotSpot h;
+                h.addr = static_cast<Addr>(jsonU64(v.items[0]));
+                h.home = static_cast<NodeId>(jsonU64(v.items[1]));
+                h.count = jsonU64(v.items[2]);
+                h.totalWait = jsonU64(v.items[3]);
+                h.p99Wait = v.items[4].number;
+                dst.push_back(h);
+            }
+            return true;
+        };
+        if (!hot(hot_blocks, ar.hotBlocks) ||
+            !hot(hot_locks, ar.hotLocks))
+            return false;
     }
     return true;
 }

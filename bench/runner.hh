@@ -59,6 +59,8 @@ struct Options
     std::uint64_t seed = 1;   //!< workload seed (seeded workloads only)
     std::string jsonPath;     //!< --json=PATH; empty = no JSON output
     Tick sampleInterval = 0;  //!< interval-metrics period; 0 = off
+    bool attrib = false;      //!< causal stall attribution (--attrib;
+                              //!< observation-only, DESIGN.md §17)
     unsigned simThreads = 1;  //!< intra-simulation worker threads per
                               //!< point (parallel DES kernel,
                               //!< DESIGN.md §15); stats are
@@ -78,7 +80,7 @@ struct Options
 /**
  * Parse the options every bench binary accepts:
  *   --scale=F --procs=N --jobs=N --seed=N --json=PATH
- *   --sample-interval=N --sim-threads=N
+ *   --sample-interval=N --attrib --sim-threads=N
  *   --isolate=none|process --timeout=SECONDS
  *   --retries=N --journal=PATH --resume=PATH --cache=DIR
  * (CPX_SCALE in the environment seeds the default scale.)
@@ -152,10 +154,14 @@ struct SweepResult
  * complete MachineParams, scale, seed, and the sample interval.
  * Identical hashes mean bit-identical stats (simulations are
  * deterministic), which is what lets the journal and the result
- * cache reuse points across runs.
+ * cache reuse points across runs. @p attrib salts the hash only when
+ * enabled (it changes the result's *content*, like the sample
+ * interval, though never its simulated stats), so every pre-existing
+ * cache and journal hash stays valid.
  */
 std::string pointConfigHash(const SweepPoint &point,
-                            Tick sample_interval);
+                            Tick sample_interval,
+                            bool attrib = false);
 
 /** "mp3d under P+CW/RC/uniform/16p (scale 1.00, seed 1)" */
 std::string describePoint(const SweepPoint &point);

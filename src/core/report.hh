@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/system.hh"
+#include "obs/attrib.hh"
 #include "obs/metrics.hh"
 
 namespace cpx
@@ -92,6 +93,14 @@ struct RunResult
      * everything the JSON writer and cpxreport need per point.
      */
     MetricTimeSeries timeseries;
+
+    /**
+     * Causal stall attribution (disabled unless the run profiled,
+     * --attrib). Like the time series, purely additive: no simulated
+     * stat above depends on it, and formatSystemStats() never prints
+     * it — the stats dump stays byte-identical attributed or not.
+     */
+    AttributionResult attribution;
 
     /** Cold miss rate in percent of shared accesses (Table 2). */
     double

@@ -52,6 +52,12 @@ class MeshNetwork : public Network
     /** Hops traversed by an src→dst message (Manhattan distance). */
     unsigned hopCount(NodeId src, NodeId dst) const;
 
+    unsigned
+    hops(NodeId src, NodeId dst) const override
+    {
+        return hopCount(src, dst);
+    }
+
     /**
      * Register one `mesh.xXyY.DIR.flits` and `.waitTicks` metric per
      * in-grid unidirectional link (interval metrics, DESIGN.md §13).

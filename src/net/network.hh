@@ -173,6 +173,19 @@ class Network
      */
     virtual Tick minCrossLatency() const = 0;
 
+    /**
+     * Topological hop count from @p src to @p dst, for per-hop
+     * attribution of network segments (src/obs/attrib.hh). The
+     * uniform network is a single logical hop; the mesh overrides
+     * this with its Manhattan distance. Purely informational — no
+     * routing or timing decision reads it.
+     */
+    virtual unsigned
+    hops(NodeId src, NodeId dst) const
+    {
+        return src == dst ? 0 : 1;
+    }
+
   protected:
     EventQueue &eq;
 

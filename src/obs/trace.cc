@@ -6,6 +6,7 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace cpx
@@ -200,7 +201,7 @@ TraceSink::overwritten() const
 // --------------------------------------------------------------------------
 
 std::string
-TraceSink::chromeTraceJson() const
+TraceSink::chromeTraceJson(const MetricTimeSeries *series) const
 {
     std::string out;
     out.reserve(4096);
@@ -275,20 +276,38 @@ TraceSink::chromeTraceJson() const
                    u(r.arg), r.aux);
         }
     }
+    // Interval-metric counter tracks: one "C" series per metric,
+    // stamped at each sampled window's end tick. Perfetto renders
+    // these as value-over-time tracks alongside the node tracks.
+    if (series && !series->empty()) {
+        for (std::size_t row = 0; row < series->rows(); ++row) {
+            for (std::size_t m = 0; m < series->names.size(); ++m) {
+                append(out,
+                       ",\n{\"ph\":\"C\",\"pid\":0,\"ts\":%llu,"
+                       "\"name\":\"%s\",\"args\":{\"value\":%llu}}",
+                       static_cast<unsigned long long>(
+                           series->ticks[row]),
+                       series->names[m].c_str(),
+                       static_cast<unsigned long long>(
+                           series->at(row, m)));
+            }
+        }
+    }
     out += "\n],\"displayTimeUnit\":\"ns\"}\n";
     return out;
 }
 
 bool
 TraceSink::writeChromeTrace(const std::string &path,
-                            std::string &error) const
+                            std::string &error,
+                            const MetricTimeSeries *series) const
 {
     std::ofstream file(path, std::ios::binary | std::ios::trunc);
     if (!file) {
         error = "cannot open '" + path + "' for writing";
         return false;
     }
-    file << chromeTraceJson();
+    file << chromeTraceJson(series);
     if (!file.flush()) {
         error = "short write to '" + path + "'";
         return false;

@@ -34,6 +34,8 @@
 namespace cpx
 {
 
+struct MetricTimeSeries;
+
 /** What happened. Kept in sync with kindName() in trace.cc. */
 enum class TraceKind : std::uint16_t
 {
@@ -207,14 +209,20 @@ class TraceSink
      * Render the rings as a Chrome-trace-event JSON document
      * (Perfetto/catapult loadable). One track per node; matched
      * TxnStart/TxnEnd pairs become async duration events ("b"/"e",
-     * always balanced), everything else becomes instants.
+     * always balanced), everything else becomes instants. Pass the
+     * run's interval-sampled series (--sample-interval) to also emit
+     * one Perfetto counter track ("C" events) per metric, stamped at
+     * each window's end tick, so protocol events and interval metrics
+     * line up on one correlated timeline.
      */
-    std::string chromeTraceJson() const;
+    std::string chromeTraceJson(
+        const MetricTimeSeries *series = nullptr) const;
 
-    /** Write chromeTraceJson() to @p path; false + @p error on I/O
-     *  failure. */
-    bool writeChromeTrace(const std::string &path,
-                          std::string &error) const;
+    /** Write chromeTraceJson(@p series) to @p path; false + @p error
+     *  on I/O failure. */
+    bool writeChromeTrace(const std::string &path, std::string &error,
+                          const MetricTimeSeries *series =
+                              nullptr) const;
 
     /** Human-readable last-@p per_node events per node (stall dumps). */
     std::string formatTails(std::size_t per_node = 16) const;

@@ -1,6 +1,7 @@
 #include "proto/directory.hh"
 
 #include "mem/backing_store.hh"
+#include "obs/attrib.hh"
 #include "obs/trace.hh"
 #include "proto/messenger.hh"
 #include "proto/slc.hh"
@@ -60,6 +61,7 @@ void
 DirectoryController::enqueue(Addr block, Queued req)
 {
     Entry &e = entries[block];
+    req.enqueuedAt = fabric.eq().now();
     e.queue.push_back(std::move(req));
     if (!e.inService)
         startNext(block);
@@ -74,6 +76,17 @@ DirectoryController::startNext(Addr block)
     e.inService = true;
     Queued req = std::move(e.queue.front());
     e.queue.pop_front();
+    // Attribution milestones (inert stores; see Entry). The rest are
+    // filled in as the service progresses and read back in finish().
+    e.curEnqueuedAt = req.enqueuedAt;
+    e.curDequeuedAt = fabric.eq().now();
+    e.curActionAt = 0;
+    e.curFanoutAt = 0;
+    e.curLastRespAt = 0;
+    e.curFrom = req.from;
+    e.curKind = req.kind;
+    e.curFlags = req.prefetch ? AttribRecord::flagPrefetch : 0;
+    e.curFanout = 0;
     // The directory state lives in main memory: one memory access
     // before the request can be acted upon.
     fabric.eq().scheduleIn(params.memAccessLatency,
@@ -86,6 +99,7 @@ void
 DirectoryController::process(Addr block, const Queued &req)
 {
     Entry &e = entries[block];
+    e.curActionAt = fabric.eq().now();
     CPX_TRACE("Dir",
               "h%u blk=%llx kind=%d from=%u mod=%d owner=%u pres=%llx",
               self, (unsigned long long)block, (int)req.kind, req.from,
@@ -113,6 +127,35 @@ DirectoryController::process(Addr block, const Queued &req)
 void
 DirectoryController::finish(Addr block, Entry &e)
 {
+    if (AttribSink *attrib = fabric.attrib()) {
+        AttribClass cls = AttribClass::Read;
+        switch (e.curKind) {
+          case ReqKind::Read:
+            cls = (e.curFlags & AttribRecord::flagPrefetch)
+                      ? AttribClass::Prefetch
+                      : AttribClass::Read;
+            break;
+          case ReqKind::Write:     cls = AttribClass::WriteMiss; break;
+          case ReqKind::Upgrade:   cls = AttribClass::Upgrade;   break;
+          case ReqKind::WriteBack: cls = AttribClass::WriteBack; break;
+          case ReqKind::Update:    cls = AttribClass::Update;    break;
+        }
+        AttribRecord rec;
+        rec.kind = AttribRecord::Kind::DirDone;
+        rec.flags = e.curFlags;
+        rec.node = static_cast<std::uint16_t>(self);
+        rec.aux = static_cast<std::uint32_t>(e.curFrom) |
+                  (static_cast<std::uint32_t>(cls) << 16);
+        rec.addr = block;
+        rec.fanout = e.curFanout;
+        rec.t0 = e.curEnqueuedAt;
+        rec.t1 = e.curDequeuedAt;
+        rec.t2 = e.curActionAt;
+        rec.t3 = e.curFanoutAt;
+        rec.t4 = e.curLastRespAt;
+        rec.t5 = fabric.eq().now();
+        attrib->record(self, rec);
+    }
     e.inService = false;
     e.txn.reset();
     // Notify before startNext(): the observer sees the stable window
@@ -170,6 +213,8 @@ DirectoryController::processRead(Addr block, Entry &e, const Queued &req)
                         .prefetch = req.prefetch,
                         .evicting = true,
                         .pendingAcks = 1};
+            e.curFanoutAt = fabric.eq().now();
+            e.curFanout = 1;
             sendInvalidate(block, victim);
             return;
           }
@@ -202,6 +247,7 @@ DirectoryController::processRead(Addr block, Entry &e, const Queued &req)
                 .requester = from,
                 .prefetch = req.prefetch,
                 .fetchInv = handoff};
+    e.curFlags |= AttribRecord::flagFetch;
     sendFetch(block, e.owner, handoff);
 }
 
@@ -256,6 +302,7 @@ DirectoryController::processWrite(Addr block, Entry &e, const Queued &req)
         e.txn = Txn{.kind = ReqKind::Write,
                     .requester = from,
                     .fetchInv = true};
+        e.curFlags |= AttribRecord::flagFetch;
         sendFetch(block, e.owner, true);
         return;
     }
@@ -278,6 +325,10 @@ DirectoryController::processWrite(Addr block, Entry &e, const Queued &req)
     e.txn = Txn{.kind = ReqKind::Write,
                 .requester = from,
                 .pendingAcks = others.count()};
+    e.curFanoutAt = fabric.eq().now();
+    e.curFanout = others.count();
+    if (!e.sharers.exact(scfg))
+        e.curFlags |= AttribRecord::flagImprecise;
     others.forEach([&](NodeId j) { sendInvalidate(block, j); });
 }
 
@@ -300,6 +351,7 @@ DirectoryController::processUpgrade(Addr block, Entry &e,
         e.txn = Txn{.kind = ReqKind::Write,
                     .requester = from,
                     .fetchInv = true};
+        e.curFlags |= AttribRecord::flagFetch;
         sendFetch(block, e.owner, true);
         return;
     }
@@ -332,6 +384,10 @@ DirectoryController::processUpgrade(Addr block, Entry &e,
     e.txn = Txn{.kind = ReqKind::Upgrade,
                 .requester = from,
                 .pendingAcks = others.count()};
+    e.curFanoutAt = fabric.eq().now();
+    e.curFanout = others.count();
+    if (!e.sharers.exact(scfg))
+        e.curFlags |= AttribRecord::flagImprecise;
     others.forEach([&](NodeId j) { sendInvalidate(block, j); });
 }
 
@@ -344,6 +400,7 @@ DirectoryController::onInvAck(Addr block, NodeId from)
               static_cast<unsigned long long>(block), from);
     e.sharers.remove(scfg, from);
     if (--e.txn->pendingAcks == 0) {
+        e.curLastRespAt = fabric.eq().now();
         // Final ack: one memory access to update the directory state
         // before the grant leaves.
         fabric.eq().scheduleIn(params.memAccessLatency, [this, block] {
@@ -540,6 +597,7 @@ DirectoryController::processUpdate(Addr block, Entry &e,
                     .fetchInv = true,
                     .dirtyMask = req.dirtyMask,
                     .words = req.words};
+        e.curFlags |= AttribRecord::flagFetch;
         sendFetch(block, e.owner, true);
         return;
     }
@@ -562,6 +620,10 @@ DirectoryController::processUpdate(Addr block, Entry &e,
                     .dirtyMask = req.dirtyMask,
                     .words = req.words,
                     .probing = true};
+        e.curFanoutAt = fabric.eq().now();
+        e.curFanout = present.count();
+        if (!e.sharers.exact(scfg))
+            e.curFlags |= AttribRecord::flagImprecise;
         present.forEach([&](NodeId j) { sendMigProbe(block, j); });
         return;
     }
@@ -581,6 +643,10 @@ DirectoryController::processUpdate(Addr block, Entry &e,
                 .pendingAcks = targets.count(),
                 .dirtyMask = req.dirtyMask,
                 .words = req.words};
+    e.curFanoutAt = fabric.eq().now();
+    e.curFanout = targets.count();
+    if (!e.sharers.exact(scfg))
+        e.curFlags |= AttribRecord::flagImprecise;
     forwardUpdate(block, e, targets);
 }
 
@@ -606,6 +672,7 @@ DirectoryController::onUpdateAck(Addr block, NodeId from,
     if (invalidated)
         e.sharers.remove(scfg, from);
     if (--e.txn->pendingAcks == 0) {
+        e.curLastRespAt = fabric.eq().now();
         fabric.eq().scheduleIn(params.memAccessLatency, [this, block] {
             Entry &entry = entries[block];
             entry.lastUpdater = entry.txn->requester;
@@ -633,6 +700,9 @@ DirectoryController::onMigProbeResp(Addr block, NodeId from,
     }
     if (--txn.pendingAcks > 0)
         return;
+    // Last probe response; overwritten by the final update ack if a
+    // forwarding round follows.
+    e.curLastRespAt = fabric.eq().now();
 
     // All probe responses are in.
     if (txn.allGaveUp && params.protocol.migratory) {

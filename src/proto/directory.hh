@@ -152,6 +152,7 @@ class DirectoryController
         bool prefetch = false;
         std::uint32_t dirtyMask = 0;
         std::vector<std::uint32_t> words;
+        Tick enqueuedAt = 0;  //!< attribution stamp (set in enqueue)
     };
 
     /** In-flight transaction state for one block. */
@@ -183,6 +184,21 @@ class DirectoryController
         bool inService = false;
         std::optional<Txn> txn;
         std::deque<Queued> queue;
+
+        // Attribution milestones of the request currently in service
+        // (src/obs/attrib.hh). Inert plain stores on state the home
+        // already owns — written regardless of whether a sink is
+        // installed, read only in finish() behind the sink's null
+        // check, and never consulted by any protocol decision.
+        Tick curEnqueuedAt = 0;   //!< entered the per-block queue
+        Tick curDequeuedAt = 0;   //!< left the queue (service start)
+        Tick curActionAt = 0;     //!< directory state read, acting
+        Tick curFanoutAt = 0;     //!< inval/probe fan-out sent (0 none)
+        Tick curLastRespAt = 0;   //!< last fan-out response (0 none)
+        NodeId curFrom = invalidNode;
+        ReqKind curKind = ReqKind::Read;
+        std::uint8_t curFlags = 0;    //!< AttribRecord flag bits
+        std::uint32_t curFanout = 0;  //!< fan-out width
     };
 
     /** Enqueue a request and start service if the block is idle. */

@@ -27,6 +27,7 @@ class DirectoryController;
 class LockManager;
 class BackingStore;
 class TraceSink;
+class AttribSink;
 
 /**
  * The slice of the processor model the protocol layer calls back
@@ -112,9 +113,20 @@ class Fabric
     /** Install (or, with nullptr, remove) a flight recorder. */
     void setTracer(TraceSink *sink) { tracer_ = sink; }
 
+    /**
+     * The installed attribution sink, or nullptr (the usual case).
+     * Agents deposit critical-path records (src/obs/attrib.hh)
+     * behind this one null check, exactly like the tracer.
+     */
+    AttribSink *attrib() const { return attrib_; }
+
+    /** Install (or, with nullptr, remove) an attribution sink. */
+    void setAttrib(AttribSink *sink) { attrib_ = sink; }
+
   private:
     ProtocolObserver *observer_ = nullptr;
     TraceSink *tracer_ = nullptr;
+    AttribSink *attrib_ = nullptr;
 };
 
 } // namespace cpx

@@ -1,5 +1,6 @@
 #include "proto/lock_manager.hh"
 
+#include "obs/attrib.hh"
 #include "obs/trace.hh"
 #include "proto/messages.hh"
 #include "proto/messenger.hh"
@@ -16,18 +17,19 @@ void
 LockManager::onAcquire(Addr lock_addr, NodeId from)
 {
     ++acquireCount;
+    const Tick arrived = fabric.eq().now();
     // The lock state lives in memory at the home node: charge one
     // memory access before acting.
     fabric.eq().scheduleIn(fabric.params().memAccessLatency,
-                           [this, lock_addr, from] {
+                           [this, lock_addr, from, arrived] {
         LockState &ls = lockStates[lock_addr];
         if (!ls.held) {
             ls.held = true;
             ls.holder = from;
-            grant(lock_addr, from);
+            grant(lock_addr, from, arrived);
         } else {
             ++queuedCount;
-            ls.waiters.push_back(from);
+            ls.waiters.push_back(Waiter{from, arrived});
         }
     });
 }
@@ -56,19 +58,29 @@ LockManager::onRelease(Addr lock_addr, NodeId from)
             ls.holder = invalidNode;
         } else {
             // Queue-based handoff: grant directly to the next waiter.
-            NodeId next = ls.waiters.front();
+            Waiter next = ls.waiters.front();
             ls.waiters.pop_front();
-            ls.holder = next;
-            grant(lock_addr, next);
+            ls.holder = next.node;
+            grant(lock_addr, next.node, next.arrivedAt);
         }
     });
 }
 
 void
-LockManager::grant(Addr lock_addr, NodeId to)
+LockManager::grant(Addr lock_addr, NodeId to, Tick arrived_at)
 {
     CPX_RECORD(fabric.tracer(), self, TraceKind::LockAcquire,
                lock_addr, 0, to);
+    if (AttribSink *attrib = fabric.attrib()) {
+        AttribRecord rec;
+        rec.kind = AttribRecord::Kind::LockGrant;
+        rec.node = static_cast<std::uint16_t>(self);
+        rec.aux = to;
+        rec.addr = lock_addr;
+        rec.t0 = arrived_at;
+        rec.t1 = fabric.eq().now();
+        attrib->record(self, rec);
+    }
     sendProtocolMessage(fabric, self, to, msg_bytes::control,
                         [this, lock_addr, to] {
         fabric.proc(to).onLockGrant(lock_addr);

@@ -62,14 +62,24 @@ class LockManager
     std::vector<LockDump> heldLockDump() const;
 
   private:
+    /** One queued acquire, stamped with its arrival tick at this
+     *  home (attribution's home-queue wait; inert otherwise). */
+    struct Waiter
+    {
+        NodeId node = invalidNode;
+        Tick arrivedAt = 0;
+    };
+
     struct LockState
     {
         bool held = false;
         NodeId holder = invalidNode;
-        std::deque<NodeId> waiters;
+        std::deque<Waiter> waiters;
     };
 
-    void grant(Addr lock_addr, NodeId to);
+    /** Send the grant; @p arrived_at is when the acquire reached this
+     *  home (for the LockGrant attribution record). */
+    void grant(Addr lock_addr, NodeId to, Tick arrived_at);
 
     NodeId self;
     Fabric &fabric;

@@ -1,6 +1,7 @@
 #include "proto/slc.hh"
 
 #include "mem/backing_store.hh"
+#include "obs/attrib.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "proto/directory.hh"
@@ -764,7 +765,10 @@ SlcController::installLine(Addr block, const Txn &txn, ReplyKind kind)
 void
 SlcController::onReply(Addr block, ReplyKind kind)
 {
-    withPort([this, block, kind] {
+    // The reply's delivery tick, before the SLC port wait: the gap
+    // to completion is the attribution model's "fill" segment.
+    const Tick delivered = fabric.eq().now();
+    withPort([this, block, kind, delivered] {
         auto it = txns.find(block);
         if (it == txns.end())
             panic("reply for unknown transaction, block %llx node %u",
@@ -781,6 +785,25 @@ SlcController::onReply(Addr block, ReplyKind kind)
         const Tick lat = fabric.eq().now() - txn.start;
         CPX_RECORD(fabric.tracer(), self, TraceKind::TxnEnd, block,
                    lat, static_cast<std::uint32_t>(txn.kind));
+        if (AttribSink *attrib = fabric.attrib()) {
+            // Txn::Kind codes double as AttribClass rows (the
+            // WriteBack row is home-only and has no Txn::Kind).
+            static_assert(
+                static_cast<unsigned>(Txn::Kind::Read) ==
+                        static_cast<unsigned>(AttribClass::Read) &&
+                    static_cast<unsigned>(Txn::Kind::Update) ==
+                        static_cast<unsigned>(AttribClass::Update),
+                "Txn::Kind and AttribClass diverged");
+            AttribRecord rec;
+            rec.kind = AttribRecord::Kind::TxnDone;
+            rec.node = static_cast<std::uint16_t>(self);
+            rec.aux = static_cast<std::uint32_t>(txn.kind);
+            rec.addr = block;
+            rec.t0 = txn.start;
+            rec.t1 = delivered;
+            rec.t2 = fabric.eq().now();
+            attrib->record(self, rec);
+        }
         if (txn.kind == Txn::Kind::WriteMiss ||
             txn.kind == Txn::Kind::Upgrade) {
             latOwnership.sample(lat);

@@ -36,6 +36,14 @@ runWorkload(System &sys, Workload &w, Tick limit, Tick sample_interval)
     result.stats = collectStats(sys, exec_time);
     if (sampler)
         result.stats.timeseries = sampler->takeSeries();
+    if (const AttribSink *attrib = sys.attrib()) {
+        // Per-hop attribution of data returns: Network::hops() is the
+        // mesh's Manhattan distance, or one logical hop elsewhere.
+        result.stats.attribution = aggregateAttribution(
+            *attrib, [&sys](NodeId src, NodeId dst) {
+                return sys.net().hops(src, dst);
+            });
+    }
     return result;
 }
 

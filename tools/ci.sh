@@ -10,8 +10,11 @@
 # parallel-kernel bit-identity matrix (the smoke suite re-run at
 # --sim-threads=1/2/4, every results file gated against the same
 # baseline, so thread-count determinism is enforced on every sweep
-# point), and a sampled mesh sweep rendered to markdown through
-# cpxreport. The ThreadSanitizer lane lives in the GitHub workflow
+# point), a sampled mesh sweep rendered to markdown through
+# cpxreport, and a stall-attribution sweep (--attrib) gated against
+# the same baseline — proving the causal profiler is observation-only
+# — then rendered to check both attribution report sections. The
+# ThreadSanitizer lane lives in the GitHub workflow
 # (.github/workflows/ci.yml, job "tsan"): CPX_SANITIZE=thread build,
 # ctest -L threads, and a chaos stress run at --sim-threads=4.
 #
@@ -175,13 +178,49 @@ test -s "$report_md" || {
 }
 stage_done "sampled sweep + report"
 
+# Stall-attribution smoke: the whole smoke suite re-run with the
+# causal profiler on. The results file must validate AND pass the
+# same committed baseline gate as the plain run — attribution is
+# observation-only, so every simulated stat must be byte-identical
+# with recording enabled (DESIGN.md §17). The attributed JSON is
+# then rendered through cpxreport, which must produce both new
+# sections ("Where the cycles went", "Contention hot spots").
+echo "== stall attribution (cpxbench --attrib + baseline gate)"
+attrib_json="$root/$prefix/BENCH_attrib.json"
+attrib_md="$root/$prefix/REPORT_attrib.md"
+rm -f "$attrib_json" "$attrib_md"
+"$root/$prefix/tools/cpxbench" --smoke --jobs="$jobs" --attrib \
+    --json="$attrib_json" >/dev/null
+if [ -f "$root/BENCH_baseline.json" ]; then
+    "$root/$prefix/tools/cpxbench" --check-json="$attrib_json" \
+        --baseline="$root/BENCH_baseline.json"
+else
+    "$root/$prefix/tools/cpxbench" --check-json="$attrib_json"
+fi
+"$root/$prefix/tools/cpxreport" "$attrib_json" --out="$attrib_md"
+for section in "Where the cycles went" "Contention hot spots"; do
+    grep -q "$section" "$attrib_md" || {
+        echo "cpxreport dropped the '$section' section" >&2
+        exit 1
+    }
+done
+stage_done "stall attribution"
+
 # Flight-recorder smoke: one traced run must produce a Chrome trace
-# JSON that parses and keeps its async begin/end events balanced.
-echo "== traced smoke run (cpxsim --trace-out)"
+# JSON that parses and keeps its async begin/end events balanced —
+# and, since the run is also sampled, carries the interval-metric
+# counter tracks ("C" events) the validator checks for monotonic
+# per-track timestamps.
+echo "== traced smoke run (cpxsim --trace-out --sample-interval)"
 trace_json="$root/$prefix/TRACE_smoke.json"
 rm -f "$trace_json"
 "$root/$prefix/tools/cpxsim" --app=mp3d --protocol=P+CW+M \
-    --procs=8 --scale=0.1 --trace-out="$trace_json" >/dev/null
+    --procs=8 --scale=0.1 --sample-interval=5000 \
+    --trace-out="$trace_json" >/dev/null
 "$root/$prefix/tools/cpxbench" --check-trace="$trace_json"
+grep -q '"ph":"C"' "$trace_json" || {
+    echo "sampled traced run emitted no counter tracks" >&2
+    exit 1
+}
 stage_done "traced smoke run"
 echo "== CI green (total $(($(date +%s) - ci_start))s)"

@@ -22,6 +22,11 @@
  *                   embed the per-point "timeseries" JSON block
  *                   (0 = off, the default; simulated stats are
  *                   bit-identical either way — DESIGN.md §13)
+ *   --attrib        profile each point's causal stall attribution
+ *                   and embed the per-point "attribution" JSON block
+ *                   (DESIGN.md §17). Observation-only: simulated
+ *                   stats are bit-identical either way, so a
+ *                   --baseline gate passes with or without it
  *   --sim-threads=N host worker threads INSIDE each simulation
  *                   (parallel DES kernel, DESIGN.md §15; default 1,
  *                   max 64). Simulated stats are bit-identical at
@@ -59,7 +64,8 @@
  *                   regressed more than 20%
  *   --check-trace=P validate a Chrome-trace-event JSON file written
  *                   by cpxsim --trace-out (parseable, traceEvents
- *                   present, async begin/end balanced) and exit;
+ *                   present, async begin/end balanced, counter
+ *                   tracks well-formed and time-ordered) and exit;
  *                   runs nothing
  *   --perf-summary=P  print the throughput fields (suite totals and
  *                   per-tag events/sec) of an existing results file
@@ -124,6 +130,8 @@ main(int argc, char **argv)
         else if (std::strncmp(arg, "--sample-interval=", 18) == 0)
             opts.sampleInterval =
                 parseU64(arg + 18, "--sample-interval");
+        else if (std::strcmp(arg, "--attrib") == 0)
+            opts.attrib = true;
         else if (std::strncmp(arg, "--sim-threads=", 14) == 0)
             opts.simThreads =
                 parsePositiveUnsigned(arg + 14, "--sim-threads");

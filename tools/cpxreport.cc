@@ -5,18 +5,24 @@
  *   cpxbench --smoke --sample-interval=5000 --json=results.json
  *   cpxreport results.json --out=report.md
  *
- * Sections (see DESIGN.md §13): per-application execution-time
+ * Sections (see DESIGN.md §13, §17): per-application execution-time
  * decomposition normalized to BASIC = 100 (the paper's Figure 2/3
- * shape), peak-vs-mean mesh link utilization for sampled mesh
- * points, and the top-N phase anomalies — intervals where a sampled
- * metric deviates more than 2σ from its run mean.
+ * shape), directory pressure, peak-vs-mean mesh link utilization for
+ * sampled mesh points, "Where the cycles went" (the causal stall
+ * attribution matrix from --attrib points) with the "Contention hot
+ * spots" hot-block/hot-lock tables, and the top-N phase anomalies —
+ * intervals where a sampled metric deviates more than 2σ from its
+ * run mean.
  *
  * Options:
  *   --out=PATH   write the report to PATH (default: stdout)
  *   --top=N      rows in the anomaly table (default 10)
  *   --links=N    rows per link-utilization table (default 10)
  *
- * Exit status: 0 on success, 1 on unreadable/invalid input.
+ * Exit status: 0 on success, 1 on unreadable/invalid input. Sparse
+ * but well-formed inputs — zero ok points, no timeseries, no
+ * attribution — render a report with explicit "no data" notes and
+ * exit 0.
  */
 
 #include <cstdio>

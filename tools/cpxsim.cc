@@ -49,7 +49,19 @@
  *   --sample-interval=N sample every registered metric each N ticks
  *                       (0 = off, the default). Passive: simulated
  *                       stats are bit-identical either way. The run
- *                       summary reports the rows collected.
+ *                       summary reports the rows collected. Combined
+ *                       with --trace-out, the sampled metrics also
+ *                       ride in the Chrome trace as Perfetto counter
+ *                       tracks on the same timeline.
+ *
+ * Stall attribution (see DESIGN.md §17):
+ *   --attrib            profile every coherence transaction's causal
+ *                       critical path and print the attributed
+ *                       (class x segment) matrix, lock home-queue
+ *                       split, and hot-block/hot-lock tables after
+ *                       the run summary. Observation-only: simulated
+ *                       stats (and the --stats dump) are
+ *                       bit-identical with it on or off.
  *
  * Stress harness (see DESIGN.md "Stress harness"):
  *   --check             run the coherence invariant checker
@@ -76,6 +88,7 @@
 #include "check/watchdog.hh"
 #include "core/config.hh"
 #include "core/report.hh"
+#include "obs/attrib.hh"
 #include "obs/trace.hh"
 #include "sim/parse.hh"
 #include "workloads/workload.hh"
@@ -117,6 +130,7 @@ main(int argc, char **argv)
     std::string trace_out;
     std::size_t trace_buffer = TraceSink::defaultRingCapacity;
     Tick sample_interval = 0;
+    bool attrib = false;
     unsigned sim_threads = 1;
     MachineParams params;
 
@@ -193,6 +207,8 @@ main(int argc, char **argv)
                 parsePositiveUnsigned(v, "--trace-buffer");
         } else if (const char *v = value("--sample-interval=")) {
             sample_interval = parseU64(v, "--sample-interval");
+        } else if (arg == "--attrib") {
+            attrib = true;
         } else if (const char *v = value("--trace=")) {
             std::string tags = v;
             std::size_t pos = 0;
@@ -235,6 +251,14 @@ main(int argc, char **argv)
                                              trace_buffer);
         sys.setTracer(tracer.get());
         tracer->installFailureDump();
+    }
+
+    // Same discipline as the flight recorder: the attribution sink
+    // only observes, so installing it cannot change the run.
+    std::unique_ptr<AttribSink> attrib_sink;
+    if (attrib) {
+        attrib_sink = std::make_unique<AttribSink>(params.numProcs);
+        sys.setAttrib(attrib_sink.get());
     }
 
     std::unique_ptr<CoherenceChecker> checker;
@@ -314,7 +338,11 @@ main(int argc, char **argv)
 
     if (tracer) {
         std::string error;
-        if (!tracer->writeChromeTrace(trace_out, error))
+        // With --sample-interval the sampled metrics ride along as
+        // Perfetto counter tracks on the trace's timeline.
+        const MetricTimeSeries *series =
+            sample_interval > 0 ? &r.timeseries : nullptr;
+        if (!tracer->writeChromeTrace(trace_out, error, series))
             fatal("--trace-out: %s", error.c_str());
         std::printf("trace          %llu records (%llu overwritten) "
                     "-> %s\n",
@@ -328,6 +356,13 @@ main(int argc, char **argv)
     if (dump_stats) {
         std::printf("\n---------- statistics dump ----------\n%s",
                     formatSystemStats(sys).c_str());
+    }
+
+    // Attribution renders after (never inside) the stats dump so the
+    // dump itself stays byte-identical with --attrib on or off.
+    if (attrib) {
+        std::printf("\n%s",
+                    formatAttribution(r.attribution).c_str());
     }
     return run.verified ? 0 : 1;
 }
